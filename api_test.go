@@ -1,0 +1,152 @@
+package isrl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// End-to-end through the public API only: generate data, train EA, run a
+// simulated interaction, verify the exactness guarantee.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := Anticorrelated(rng, 500, 3).Skyline()
+	e := NewEA(ds, 0.1, EAConfig{NumSamples: 24, MaxRounds: 60}, rng)
+	if _, err := e.Train(TrainVectors(rng, 3, 30)); err != nil {
+		t.Fatal(err)
+	}
+	u := SampleUtility(rng, 3)
+	res, err := e.Run(ds, SimulatedUser{Utility: u}, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr := ds.RegretRatio(res.Point, u); rr > 0.1+1e-9 {
+		t.Errorf("regret %v > eps", rr)
+	}
+}
+
+func TestPublicAPISaveLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := Anticorrelated(rng, 300, 3).Skyline()
+	a := NewAA(ds, 0.1, AAConfig{MaxRounds: 80}, rng)
+	blob, err := a.Agent().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadAA(ds, 0.1, AAConfig{MaxRounds: 80}, blob, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := SampleUtility(rng, 3)
+	r1, err := back.Run(ds, SimulatedUser{Utility: u}, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Rounds <= 0 {
+		t.Errorf("loaded agent asked %d questions", r1.Rounds)
+	}
+	// Mismatched dataset dims must be rejected.
+	other := Anticorrelated(rng, 300, 4).Skyline()
+	if _, err := LoadAA(other, 0.1, AAConfig{}, blob, rng); err == nil {
+		t.Error("dimension mismatch must fail to load")
+	}
+	eaBlobRejected := func() {
+		e := NewEA(ds, 0.1, EAConfig{}, rng)
+		eb, err := e.Agent().MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadAA(ds, 0.1, AAConfig{}, eb, rng); err == nil {
+			t.Error("EA blob must not load as AA (state dims differ)")
+		}
+		if _, err := LoadEA(ds, 0.1, EAConfig{}, eb, rng); err != nil {
+			t.Errorf("EA blob must load as EA: %v", err)
+		}
+	}
+	eaBlobRejected()
+}
+
+func TestPublicAPIBaselinesAndUtilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := SyntheticCar(rng).Skyline()
+	if ds.Dim() != 3 {
+		t.Fatalf("car dim %d", ds.Dim())
+	}
+	u := SampleUtility(rng, 3)
+	algos := []Algorithm{
+		NewUHRandom(UHConfig{}, rng),
+		NewUHSimplex(UHConfig{}, rng),
+		NewSinglePass(SinglePassConfig{}, rng),
+		NewUtilityApprox(UtilityApproxConfig{}),
+	}
+	for _, alg := range algos {
+		res, err := alg.Run(ds, SimulatedUser{Utility: u}, 0.15, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if res.PointIndex < 0 || res.PointIndex >= ds.Len() {
+			t.Errorf("%s: bad index", alg.Name())
+		}
+	}
+	// Utility sampling lands on the simplex.
+	for i := 0; i < 50; i++ {
+		v := SampleUtility(rng, 5)
+		var s float64
+		for _, x := range v {
+			if x < 0 {
+				t.Fatal("negative utility component")
+			}
+			s += x
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("utility sums to %v", s)
+		}
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	if len(Experiments()) < 12 {
+		t.Errorf("registry has %d experiments, want ≥ 12 (one per figure)", len(Experiments()))
+	}
+	if _, err := ExperimentByID("fig16"); err != nil {
+		t.Error(err)
+	}
+	tiny := TinyScale()
+	if tiny.N <= 0 || tiny.Trials <= 0 {
+		t.Errorf("tiny preset %+v", tiny)
+	}
+}
+
+// Session integration: drive a trained EA through the pull-based API.
+func TestPublicAPISession(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds := Anticorrelated(rng, 400, 3).Skyline()
+	e := NewEA(ds, 0.1, EAConfig{NumSamples: 24, MaxRounds: 60}, rng)
+	u := SampleUtility(rng, 3)
+	truth := SimulatedUser{Utility: u}
+	s := NewSession(e, ds, 0.1)
+	rounds := 0
+	for {
+		pi, pj, done := s.Next()
+		if done {
+			break
+		}
+		rounds++
+		if rounds > 100 {
+			t.Fatal("session did not terminate")
+		}
+		if err := s.Answer(truth.Prefer(pi, pj)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != rounds {
+		t.Errorf("session rounds %d != result rounds %d", rounds, res.Rounds)
+	}
+	if rr := ds.RegretRatio(res.Point, u); rr > 0.1+1e-9 {
+		t.Errorf("regret %v > eps through session API", rr)
+	}
+}

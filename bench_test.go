@@ -1,0 +1,105 @@
+package isrl
+
+// One benchmark per table/figure of the paper's evaluation (§V). Each bench
+// executes the registered experiment that regenerates the figure and
+// reports the headline series — mean interactive rounds per algorithm — as
+// custom benchmark metrics, so `go test -bench=.` output doubles as a
+// compact reproduction summary.
+//
+// Scale is controlled with ISRL_BENCH_SCALE = tiny (default) | quick | full.
+// Tiny keeps the whole suite in the minutes range; full matches the paper's
+// workload sizes (n=100,000, 10,000 training episodes) and takes hours.
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"isrl/internal/exp"
+)
+
+func benchConfig() exp.Config {
+	switch os.Getenv("ISRL_BENCH_SCALE") {
+	case "full":
+		return exp.Full()
+	case "quick":
+		return exp.Quick()
+	default:
+		c := exp.Tiny()
+		c.N = 2000
+		c.TrainEpisodes = 100
+		c.Trials = 3
+		return c
+	}
+}
+
+// runFigure executes one registered experiment per iteration and reports
+// the per-algorithm mean of the given column as custom metrics.
+func runFigure(b *testing.B, id, metricCol string) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	var last *exp.Table
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tab
+	}
+	if last == nil {
+		return
+	}
+	col := -1
+	algCol := -1
+	for i, c := range last.Columns {
+		switch c {
+		case metricCol:
+			col = i
+		case "algorithm", "variant":
+			algCol = i
+		}
+	}
+	if col < 0 || algCol < 0 {
+		return
+	}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, row := range last.Rows {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			continue
+		}
+		sums[row[algCol]] += v
+		counts[row[algCol]]++
+	}
+	for alg, sum := range sums {
+		name := strings.ReplaceAll(alg, " ", "-") + "-" + metricCol
+		b.ReportMetric(sum/float64(counts[alg]), name)
+	}
+}
+
+func BenchmarkFig6aTrainingSize(b *testing.B)   { runFigure(b, "fig6a", "rounds") }
+func BenchmarkFig6bActionSpace(b *testing.B)    { runFigure(b, "fig6b", "rounds") }
+func BenchmarkFig7ProgressD4(b *testing.B)      { runFigure(b, "fig7", "max_regret") }
+func BenchmarkFig8ProgressD20(b *testing.B)     { runFigure(b, "fig8", "max_regret") }
+func BenchmarkFig9VaryEpsD4(b *testing.B)       { runFigure(b, "fig9", "rounds") }
+func BenchmarkFig10VaryEpsD20(b *testing.B)     { runFigure(b, "fig10", "rounds") }
+func BenchmarkFig11VaryND4(b *testing.B)        { runFigure(b, "fig11", "rounds") }
+func BenchmarkFig12VaryND20(b *testing.B)       { runFigure(b, "fig12", "rounds") }
+func BenchmarkFig13VaryDLow(b *testing.B)       { runFigure(b, "fig13", "rounds") }
+func BenchmarkFig14VaryDHigh(b *testing.B)      { runFigure(b, "fig14", "rounds") }
+func BenchmarkFig15Car(b *testing.B)            { runFigure(b, "fig15", "rounds") }
+func BenchmarkFig16Player(b *testing.B)         { runFigure(b, "fig16", "rounds") }
+func BenchmarkAblationState(b *testing.B)       { runFigure(b, "abl-state", "rounds") }
+func BenchmarkAblationAction(b *testing.B)      { runFigure(b, "abl-action", "rounds") }
+func BenchmarkAblationGreedyCover(b *testing.B) { runFigure(b, "abl-greedy", "rounds") }
+func BenchmarkAblationRL(b *testing.B)          { runFigure(b, "abl-rl", "rounds") }
+func BenchmarkAblationDQNRecipe(b *testing.B)   { runFigure(b, "abl-dqn", "rounds") }
+func BenchmarkExtNoise(b *testing.B)            { runFigure(b, "ext-noise", "regret") }
+func BenchmarkExtOptimalityGap(b *testing.B)    { runFigure(b, "ext-opt", "rounds") }
+func BenchmarkExtAdaptive(b *testing.B)         { runFigure(b, "ext-adaptive", "rounds") }

@@ -1,0 +1,61 @@
+// Command isrl-datagen writes datasets to CSV for use with the other tools.
+//
+// Usage:
+//
+//	isrl-datagen -kind anti -n 100000 -d 4 -out anti4d.csv
+//	isrl-datagen -kind player -skyline -out player.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"isrl/internal/dataset"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "anti", "anti, indep, corr, car, or player")
+		n       = flag.Int("n", 10000, "number of tuples (anti/indep/corr)")
+		d       = flag.Int("d", 4, "dimensionality (anti/indep/corr)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		skyline = flag.Bool("skyline", false, "apply skyline preprocessing before writing")
+		out     = flag.String("out", "", "output CSV path (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatalf("-out is required")
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var ds *dataset.Dataset
+	switch *kind {
+	case "anti":
+		ds = dataset.Anticorrelated(rng, *n, *d)
+	case "indep":
+		ds = dataset.Independent(rng, *n, *d)
+	case "corr":
+		ds = dataset.Correlated(rng, *n, *d)
+	case "car":
+		ds = dataset.SyntheticCar(rng)
+	case "player":
+		ds = dataset.SyntheticPlayer(rng)
+	default:
+		fatalf("unknown kind %q", *kind)
+	}
+	if *skyline {
+		before := ds.Len()
+		ds = ds.Skyline()
+		fmt.Fprintf(os.Stderr, "skyline: %d of %d tuples kept\n", ds.Len(), before)
+	}
+	if err := ds.SaveFile(*out); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d tuples x %d attrs to %s\n", ds.Len(), ds.Dim(), *out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "isrl-datagen: "+format+"\n", args...)
+	os.Exit(1)
+}

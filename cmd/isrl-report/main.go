@@ -1,0 +1,111 @@
+// Command isrl-report turns the CSV tables written by `isrl-bench -csv`
+// into the markdown section of EXPERIMENTS.md, so measured numbers stay
+// mechanically in sync with the latest run.
+//
+// Usage:
+//
+//	isrl-bench -fig all -scale quick -csv results/
+//	isrl-report -dir results/ >> EXPERIMENTS.md
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// order lists experiment ids in presentation order; unknown files sort last.
+var order = []string{
+	"fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+	"fig13", "fig14", "fig15", "fig16",
+	"abl-state", "abl-action", "abl-greedy", "abl-rl", "abl-dqn",
+	"ext-noise", "ext-opt", "ext-adaptive",
+}
+
+func main() {
+	dir := flag.String("dir", "results", "directory of per-figure CSV files")
+	flag.Parse()
+
+	entries, err := os.ReadDir(*dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rank := map[string]int{}
+	for i, id := range order {
+		rank[id] = i
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Slice(files, func(a, b int) bool {
+		ra, oka := rank[strings.TrimSuffix(files[a], ".csv")]
+		rb, okb := rank[strings.TrimSuffix(files[b], ".csv")]
+		switch {
+		case oka && okb:
+			return ra < rb
+		case oka:
+			return true
+		case okb:
+			return false
+		}
+		return files[a] < files[b]
+	})
+	if len(files) == 0 {
+		fatalf("no CSV files in %s", *dir)
+	}
+	for _, f := range files {
+		id := strings.TrimSuffix(f, ".csv")
+		if err := emit(filepath.Join(*dir, f), id); err != nil {
+			fatalf("%s: %v", f, err)
+		}
+	}
+}
+
+// emit prints one CSV as a markdown table. Long per-round traces (fig7/8)
+// are summarized to every 5th row to keep the document readable.
+func emit(path, id string) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	recs, err := csv.NewReader(fh).ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(recs) < 2 {
+		return fmt.Errorf("no data rows")
+	}
+	fmt.Printf("### %s\n\n", id)
+	fmt.Printf("| %s |\n", strings.Join(recs[0], " | "))
+	sep := make([]string, len(recs[0]))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Printf("| %s |\n", strings.Join(sep, " | "))
+	rows := recs[1:]
+	thin := len(rows) > 40
+	for i, row := range rows {
+		if thin && i%5 != 0 && i != len(rows)-1 {
+			continue
+		}
+		fmt.Printf("| %s |\n", strings.Join(row, " | "))
+	}
+	if thin {
+		fmt.Printf("\n*(every 5th row shown; full data in %s)*\n", path)
+	}
+	fmt.Println()
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "isrl-report: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEmit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig9.csv")
+	if err := os.WriteFile(path, []byte("eps,algorithm,rounds\n0.1,EA,5\n0.1,AA,8\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() {
+		if err := emit(path, "fig9"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{"### fig9", "| eps | algorithm | rounds |", "| 0.1 | EA | 5 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitThinsLongTables(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	b.WriteString("round,v\n")
+	for i := 0; i < 100; i++ {
+		b.WriteString("1,2\n")
+	}
+	path := filepath.Join(dir, "fig7.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() {
+		if err := emit(path, "fig7"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	rows := strings.Count(out, "| 1 | 2 |")
+	if rows >= 100 || rows < 10 {
+		t.Errorf("thinning produced %d rows", rows)
+	}
+	if !strings.Contains(out, "every 5th row shown") {
+		t.Error("thinning note missing")
+	}
+}
+
+func TestEmitErrors(t *testing.T) {
+	if err := emit("/does/not/exist.csv", "x"); err == nil {
+		t.Error("missing file must error")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.csv")
+	if err := os.WriteFile(path, []byte("only,header\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := emit(path, "empty"); err == nil {
+		t.Error("header-only file must error")
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected into a pipe and returns
+// what was written.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		n, _ := r.Read(buf)
+		// Drain any remainder.
+		for {
+			m, err := r.Read(buf[n:])
+			if m <= 0 || err != nil {
+				break
+			}
+			n += m
+		}
+		done <- string(buf[:n])
+	}()
+	f()
+	w.Close()
+	out := <-done
+	os.Stdout = old
+	return out
+}
+
+// Integration sanity: the binary builds and runs against a fixtures dir.
+func TestMainIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the binary")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fig6a.csv"),
+		[]byte("a,b\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "isrl-report")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	out, err := exec.Command(bin, "-dir", dir).Output()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(string(out), "### fig6a") {
+		t.Errorf("output:\n%s", out)
+	}
+}

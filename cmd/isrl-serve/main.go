@@ -1,0 +1,150 @@
+// Command isrl-serve runs the interactive regret query as a JSON/HTTP
+// service — the deployment shape of the paper's motivating scenario (a
+// database system helping users find their favorite tuple).
+//
+// Usage:
+//
+//	isrl-serve -data car -algo ea -episodes 500 -addr :8080
+//	curl -X POST localhost:8080/sessions
+//	curl -X POST localhost:8080/sessions/s1/answer -d '{"prefer_first":true}'
+//	curl localhost:8080/sessions/s1
+//
+// Each answered question narrows the session's utility range; when the
+// ε-guarantee is met the response carries the recommended tuple.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync/atomic"
+
+	"isrl/internal/aa"
+	"isrl/internal/baselines"
+	"isrl/internal/core"
+	"isrl/internal/dataset"
+	"isrl/internal/ea"
+	"isrl/internal/geom"
+	"isrl/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		data     = flag.String("data", "car", "anti, indep, corr, car, player (ignored with -csv)")
+		csvPath  = flag.String("csv", "", "serve a CSV dataset")
+		n        = flag.Int("n", 10000, "synthetic dataset size")
+		d        = flag.Int("d", 4, "synthetic dimensionality")
+		algo     = flag.String("algo", "ea", "ea, aa, uh-random, uh-simplex")
+		eps      = flag.Float64("eps", 0.1, "regret-ratio threshold")
+		episodes = flag.Int("episodes", 500, "training episodes for ea/aa")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	ds, err := loadData(*csvPath, *data, *n, *d, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	log.Printf("dataset: %d skyline tuples, d=%d", ds.Len(), ds.Dim())
+
+	factory, err := buildFactory(*algo, ds, *eps, *episodes, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	srv := server.New(ds, *eps, factory)
+	log.Printf("serving interactive search on %s (algo=%s eps=%.2f)", *addr, *algo, *eps)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func loadData(csvPath, kind string, n, d int, seed int64) (*dataset.Dataset, error) {
+	if csvPath != "" {
+		ds, err := dataset.LoadFile(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Skyline(), nil
+	}
+	ds, err := dataset.Generate(kind, rand.New(rand.NewSource(seed)), n, d)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Skyline(), nil
+}
+
+// buildFactory trains RL agents once up front and hands each session its
+// own algorithm instance (the RL agents keep per-call scratch state, so
+// sessions get independent handles; baselines are cheap to rebuild).
+func buildFactory(algo string, ds *dataset.Dataset, eps float64, episodes int, seed int64) (server.AlgorithmFactory, error) {
+	rng := rand.New(rand.NewSource(seed))
+	trainVectors := func() [][]float64 {
+		users := make([][]float64, episodes)
+		for i := range users {
+			users[i] = geom.SampleSimplex(rng, ds.Dim())
+		}
+		return users
+	}
+	switch algo {
+	case "ea":
+		log.Printf("training EA on %d simulated users...", episodes)
+		e := ea.New(ds, eps, ea.Config{}, rng)
+		if episodes > 0 {
+			if _, err := e.Train(trainVectors()); err != nil {
+				return nil, err
+			}
+		}
+		blob, err := e.Agent().MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		var ctr atomic.Int64
+		return func() core.Algorithm {
+			inst, err := ea.Load(ds, eps, ea.Config{}, blob, rand.New(rand.NewSource(seed+ctr.Add(1))))
+			if err != nil {
+				panic(fmt.Sprintf("isrl-serve: reload trained agent: %v", err))
+			}
+			return inst
+		}, nil
+	case "aa":
+		log.Printf("training AA on %d simulated users...", episodes)
+		a := aa.New(ds, eps, aa.Config{}, rng)
+		if episodes > 0 {
+			if _, err := a.Train(trainVectors()); err != nil {
+				return nil, err
+			}
+		}
+		blob, err := a.Agent().MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		var ctr atomic.Int64
+		return func() core.Algorithm {
+			inst, err := aa.Load(ds, eps, aa.Config{}, blob, rand.New(rand.NewSource(seed+ctr.Add(1))))
+			if err != nil {
+				panic(fmt.Sprintf("isrl-serve: reload trained agent: %v", err))
+			}
+			return inst
+		}, nil
+	case "uh-random":
+		var ctr atomic.Int64
+		return func() core.Algorithm {
+			return baselines.NewUHRandom(baselines.UHConfig{}, rand.New(rand.NewSource(seed+ctr.Add(1))))
+		}, nil
+	case "uh-simplex":
+		var ctr atomic.Int64
+		return func() core.Algorithm {
+			return baselines.NewUHSimplex(baselines.UHConfig{}, rand.New(rand.NewSource(seed+ctr.Add(1))))
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown -algo %q", algo)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "isrl-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command isrl-train trains an EA or AA agent for a dataset and saves the
+// learned Q-network so interactive sessions start instantly.
+//
+// Usage:
+//
+//	isrl-train -algo ea -data anti -n 10000 -d 4 -eps 0.1 -episodes 1000 -out ea4d.model
+//	isrl-train -algo aa -data player -eps 0.1 -episodes 2000 -out aa-player.model
+//	isrl-train -algo aa -csv mydata.csv -out custom.model
+//
+// The dataset is regenerated from the same -seed at inference time
+// (cmd/isrl does this), or supply -csv on both sides.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"isrl/internal/aa"
+	"isrl/internal/dataset"
+	"isrl/internal/ea"
+	"isrl/internal/geom"
+)
+
+func main() {
+	var (
+		algo     = flag.String("algo", "ea", "ea or aa")
+		data     = flag.String("data", "anti", "anti, indep, corr, car, player (ignored with -csv)")
+		csvPath  = flag.String("csv", "", "train on a CSV dataset instead of a generated one")
+		n        = flag.Int("n", 10000, "synthetic dataset size")
+		d        = flag.Int("d", 4, "synthetic dimensionality")
+		eps      = flag.Float64("eps", 0.1, "regret-ratio threshold the agent trains for")
+		episodes = flag.Int("episodes", 1000, "training utility vectors (paper: 10000)")
+		seed     = flag.Int64("seed", 1, "random seed (dataset + training)")
+		out      = flag.String("out", "", "output model path (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatalf("-out is required")
+	}
+
+	ds, err := loadData(*csvPath, *data, *n, *d, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "dataset: %d skyline tuples, d=%d\n", ds.Len(), ds.Dim())
+
+	rng := rand.New(rand.NewSource(*seed))
+	users := make([][]float64, *episodes)
+	for i := range users {
+		users[i] = geom.SampleSimplex(rng, ds.Dim())
+	}
+
+	start := time.Now()
+	var blob []byte
+	switch *algo {
+	case "ea":
+		e := ea.New(ds, *eps, ea.Config{}, rng)
+		stats, err := e.Train(users)
+		if err != nil {
+			fatalf("train: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "EA trained: %d episodes, avg %.1f rounds, %v\n",
+			stats.Episodes, stats.AvgRounds, time.Since(start).Round(time.Millisecond))
+		if blob, err = e.Agent().MarshalBinary(); err != nil {
+			fatalf("serialize: %v", err)
+		}
+	case "aa":
+		a := aa.New(ds, *eps, aa.Config{}, rng)
+		stats, err := a.Train(users)
+		if err != nil {
+			fatalf("train: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "AA trained: %d episodes, avg %.1f rounds, %v\n",
+			stats.Episodes, stats.AvgRounds, time.Since(start).Round(time.Millisecond))
+		if blob, err = a.Agent().MarshalBinary(); err != nil {
+			fatalf("serialize: %v", err)
+		}
+	default:
+		fatalf("unknown -algo %q (ea or aa)", *algo)
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "model saved to %s (%d bytes)\n", *out, len(blob))
+}
+
+// loadData builds the skyline-preprocessed training dataset.
+func loadData(csvPath, kind string, n, d int, seed int64) (*dataset.Dataset, error) {
+	if csvPath != "" {
+		ds, err := dataset.LoadFile(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Skyline(), nil
+	}
+	ds, err := dataset.Generate(kind, rand.New(rand.NewSource(seed)), n, d)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Skyline(), nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "isrl-train: "+format+"\n", args...)
+	os.Exit(1)
+}

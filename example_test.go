@@ -1,0 +1,52 @@
+package isrl_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"isrl"
+)
+
+// Example_quickstart shows the minimal end-to-end flow: generate data,
+// train the exact algorithm, and run one interactive session against a
+// simulated user. (Compiled as documentation; see examples/quickstart for a
+// runnable program.)
+func Example_quickstart() {
+	rng := rand.New(rand.NewSource(1))
+	ds := isrl.Anticorrelated(rng, 2000, 3).Skyline()
+
+	agent := isrl.NewEA(ds, 0.1, isrl.EAConfig{}, rng)
+	if _, err := agent.Train(isrl.TrainVectors(rng, 3, 100)); err != nil {
+		panic(err)
+	}
+
+	user := isrl.SimulatedUser{Utility: []float64{0.5, 0.3, 0.2}}
+	res, err := agent.Run(ds, user, 0.1, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Rounds <= 200) // certified within eps after few questions
+	// Output: true
+}
+
+// Example_customUser shows how to plug a real questioner into any
+// algorithm: implement isrl.User, optionally wrapped for auditing.
+func Example_customUser() {
+	rng := rand.New(rand.NewSource(2))
+	ds := isrl.SyntheticCar(rng).Skyline()
+
+	// Any type with Prefer(pi, pj []float64) bool is a User. Production
+	// code would ask a human; here a fixed rule stands in.
+	favorCheap := isrl.UserFunc(func(pi, pj []float64) bool {
+		return pi[0] >= pj[0] // always pick the more affordable car
+	})
+	audited := &isrl.RecordingUser{Inner: favorCheap}
+
+	alg := isrl.NewUHSimplex(isrl.UHConfig{}, rng)
+	res, err := alg.Run(ds, audited, 0.15, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(audited.Record) >= res.Rounds)
+	// Output: true
+}

@@ -1,0 +1,83 @@
+// Bring-your-own-data: load a CSV of tuples, preprocess it, train the
+// approximate algorithm, persist the model, reload it, and run a search —
+// the full lifecycle a downstream application goes through. The example
+// generates a small CSV in a temp directory first so it is self-contained.
+//
+//	go run ./examples/csvsearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"isrl"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "isrl-csv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Pretend this CSV came from your own pipeline.
+	csvPath := filepath.Join(dir, "laptops.csv")
+	rng := rand.New(rand.NewSource(3))
+	raw := isrl.Anticorrelated(rng, 3000, 4)
+	raw.Attrs = []string{"battery", "cpu", "display", "value"}
+	if err := raw.SaveFile(csvPath); err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Load and preprocess: values must be in (0,1], larger preferred;
+	// the skyline keeps every tuple that can be someone's favorite.
+	ds, err := isrl.LoadDataset(csvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds = ds.Normalize().Skyline()
+	if err := ds.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %s: %d candidate laptops, attrs %v\n", csvPath, ds.Len(), ds.Attrs)
+
+	// 2. Train once, persist the agent.
+	const eps = 0.1
+	agent := isrl.NewAA(ds, eps, isrl.AAConfig{}, rng)
+	if _, err := agent.Train(isrl.TrainVectors(rng, ds.Dim(), 300)); err != nil {
+		log.Fatal(err)
+	}
+	blob, err := agent.Agent().MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	modelPath := filepath.Join(dir, "aa.model")
+	if err := os.WriteFile(modelPath, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model saved: %d bytes\n", len(blob))
+
+	// 3. Later (another process): reload and serve searches.
+	blob, err = os.ReadFile(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	served, err := isrl.LoadAA(ds, eps, isrl.AAConfig{}, blob, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, hidden := range [][]float64{
+		{0.7, 0.1, 0.1, 0.1}, // battery-obsessed
+		{0.1, 0.6, 0.1, 0.2}, // performance-first
+	} {
+		res, err := served.Run(ds, isrl.SimulatedUser{Utility: hidden}, eps, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("user %v → %d questions, regret %.4f, pick %v\n",
+			hidden, res.Rounds, ds.RegretRatio(res.Point, hidden), res.Point)
+	}
+}

@@ -1,0 +1,78 @@
+// How close to optimal is the learned policy? In two dimensions the utility
+// space is a segment and the best possible interaction tree (paper §IV-A,
+// Figure 1) can be computed exactly by dynamic programming. This example
+// builds a 2-d market, solves for the optimal worst-case question count,
+// and compares every algorithm against it.
+//
+//	go run ./examples/optimality
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"isrl"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(13))
+	ds := isrl.Anticorrelated(rng, 20000, 2).Skyline()
+	const eps = 0.002
+	fmt.Printf("market: %d skyline tuples, d=2, eps=%.3f\n", ds.Len(), eps)
+
+	opt, err := isrl.OptimalRounds(ds, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal policy (exact interaction-tree DP): %d questions worst-case\n\n", opt)
+
+	ea := isrl.NewEA(ds, eps, isrl.EAConfig{}, rng)
+	if _, err := ea.Train(isrl.TrainVectors(rng, 2, 400)); err != nil {
+		log.Fatal(err)
+	}
+	aa := isrl.NewAA(ds, eps, isrl.AAConfig{}, rng)
+	if _, err := aa.Train(isrl.TrainVectors(rng, 2, 400)); err != nil {
+		log.Fatal(err)
+	}
+	algos := []isrl.Algorithm{
+		ea,
+		aa,
+		isrl.NewUHRandom(isrl.UHConfig{}, rand.New(rand.NewSource(14))),
+		isrl.NewUHSimplex(isrl.UHConfig{}, rand.New(rand.NewSource(15))),
+		isrl.NewSinglePass(isrl.SinglePassConfig{}, rand.New(rand.NewSource(16))),
+		isrl.NewAdaptive(isrl.AdaptiveConfig{}, rand.New(rand.NewSource(17))),
+	}
+
+	const trials = 20
+	fmt.Printf("%-12s %12s %10s\n", "algorithm", "mean rounds", "worst")
+	for _, alg := range algos {
+		var sum, worst int
+		for t := 0; t < trials; t++ {
+			u := isrl.SampleUtility(rng, 2)
+			res, err := alg.Run(ds, isrl.SimulatedUser{Utility: u}, eps, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += res.Rounds
+			if res.Rounds > worst {
+				worst = res.Rounds
+			}
+		}
+		fmt.Printf("%-12s %12.1f %10d\n", alg.Name(), float64(sum)/trials, worst)
+	}
+	fmt.Printf("\n(optimal worst-case for comparison: %d)\n", opt)
+
+	// Render the optimal interaction tree (the paper's Figure 1) to DOT;
+	// view with: dot -Tpng itree.dot -o itree.png
+	f, err := os.Create("itree.dot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := isrl.WriteOptimalTreeDOT(ds, eps, f, 4); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimal interaction tree written to itree.dot")
+}

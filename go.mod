@@ -1,0 +1,3 @@
+module isrl
+
+go 1.22

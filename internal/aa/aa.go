@@ -1,0 +1,434 @@
+// Package aa implements the paper's approximate algorithm AA (§IV-C): an
+// RL-driven interactive regret query that never materializes the utility
+// range exactly. It keeps only the set H of learned halfspaces, encodes each
+// state with the LP-computed inner sphere and outer rectangle of R, selects
+// candidate questions whose hyperplanes pass near the inner-sphere center,
+// and stops once ‖e_min − e_max‖ ≤ 2√d·ε (Lemma 9: regret ≤ d²ε, and in
+// practice below ε). This design scales to the high dimensionalities where
+// polyhedron-maintaining algorithms are infeasible.
+package aa
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"isrl/internal/core"
+	"isrl/internal/dataset"
+	"isrl/internal/geom"
+	"isrl/internal/rl"
+	"isrl/internal/vec"
+)
+
+// Config collects AA's hyperparameters. Zero values select defaults matching
+// the paper's §V settings via Defaults.
+type Config struct {
+	Mh          int // action-space size m_h (paper: 5)
+	TopK        int // top points by center utility forming the main pair pool
+	RandPairs   int // extra uniformly sampled pairs per round
+	MaxLPChecks int // budget of two-sided feasibility probes per round
+	MaxRounds   int // safety cap on interactive rounds
+	RL          rl.Config
+
+	// Resilient enables the error-tolerant mode of the paper's future work
+	// (§VI): when contradictory answers empty the utility range, the least
+	// consistent halfspaces are dropped (geom.RepairFeasibility) and the
+	// interaction continues instead of stopping at the centroid.
+	Resilient bool
+
+	// RandomActions is an ablation switch (DESIGN.md §5): candidate pairs
+	// are taken in random order instead of nearest-to-center order.
+	RandomActions bool
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.Mh == 0 {
+		c.Mh = 5
+	}
+	if c.TopK == 0 {
+		c.TopK = 20
+	}
+	if c.RandPairs == 0 {
+		c.RandPairs = 100
+	}
+	if c.MaxLPChecks == 0 {
+		c.MaxLPChecks = 60
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 400
+	}
+	c.RL = c.RL.Defaults()
+	return c
+}
+
+// AA is the approximate RL interactive algorithm, bound to the dataset and
+// threshold it was trained for.
+type AA struct {
+	cfg   Config
+	ds    *dataset.Dataset
+	eps   float64
+	agent *rl.Agent
+	rng   *rand.Rand
+}
+
+// New creates an untrained AA for ds and threshold eps. It panics on an
+// empty dataset, dimensionality < 2, or a threshold outside (0,1).
+func New(ds *dataset.Dataset, eps float64, cfg Config, rng *rand.Rand) *AA {
+	validate(ds, eps)
+	cfg = cfg.Defaults()
+	d := ds.Dim()
+	stateDim := 3*d + 1 // inner center ⊕ radius ⊕ e_min ⊕ e_max
+	actionDim := 2 * d
+	return &AA{
+		cfg:   cfg,
+		ds:    ds,
+		eps:   eps,
+		agent: rl.NewAgent(stateDim, actionDim, cfg.RL, rng),
+		rng:   rng,
+	}
+}
+
+// validate panics with a clear message on unusable construction inputs.
+func validate(ds *dataset.Dataset, eps float64) {
+	if ds == nil || ds.Len() == 0 {
+		panic("aa: empty dataset")
+	}
+	if ds.Dim() < 2 {
+		panic(fmt.Sprintf("aa: dimensionality %d < 2", ds.Dim()))
+	}
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("aa: regret threshold %v outside (0,1)", eps))
+	}
+}
+
+// Load restores an AA whose agent was serialized with Agent().MarshalBinary.
+// ds, eps and cfg must match the values used at training time.
+func Load(ds *dataset.Dataset, eps float64, cfg Config, blob []byte, rng *rand.Rand) (*AA, error) {
+	cfg = cfg.Defaults()
+	agent, err := rl.UnmarshalAgent(blob, cfg.RL)
+	if err != nil {
+		return nil, fmt.Errorf("aa: load: %w", err)
+	}
+	d := ds.Dim()
+	if agent.StateDim != 3*d+1 || agent.ActionDim != 2*d {
+		return nil, fmt.Errorf("aa: load: model dims (%d,%d) do not match dataset (%d,%d)",
+			agent.StateDim, agent.ActionDim, 3*d+1, 2*d)
+	}
+	return &AA{cfg: cfg, ds: ds, eps: eps, agent: agent, rng: rng}, nil
+}
+
+// Name implements core.Algorithm.
+func (a *AA) Name() string { return "AA" }
+
+// Agent exposes the underlying DQN.
+func (a *AA) Agent() *rl.Agent { return a.agent }
+
+// Config returns the resolved configuration.
+func (a *AA) Config() Config { return a.cfg }
+
+type action struct {
+	I, J int
+	Feat []float64
+}
+
+type round struct {
+	state    []float64
+	center   []float64
+	mid      []float64 // outer-rectangle midpoint (the return vector)
+	actions  []action
+	terminal bool
+}
+
+// computeRound derives AA's MDP view from the halfspace set: the inner
+// sphere and outer rectangle (state + stopping test) and the
+// nearest-to-center candidate questions (action space).
+func (a *AA) computeRound(poly *geom.Polytope, eps float64) (*round, error) {
+	d := a.ds.Dim()
+	ball, err := poly.InnerBall()
+	if err != nil && a.cfg.Resilient && len(poly.Halfspaces) > 0 {
+		// Contradictory answers emptied R: drop the least consistent
+		// constraints and continue (§VI future work).
+		poly.RepairFeasibility(0)
+		ball, err = poly.InnerBall()
+	}
+	if err != nil {
+		// Empty range (noisy users): stop at the centroid.
+		c := geom.SimplexCentroid(d)
+		return &round{terminal: true, center: c, mid: c}, nil
+	}
+	emin, emax, err := poly.OuterRect()
+	if err != nil {
+		return nil, fmt.Errorf("aa: %w", err)
+	}
+	r := &round{center: ball.Center, mid: vec.Mid(nil, emin, emax)}
+	r.state = make([]float64, 0, 3*d+1)
+	r.state = append(r.state, ball.Center...)
+	r.state = append(r.state, ball.Radius)
+	r.state = append(r.state, emin...)
+	r.state = append(r.state, emax...)
+	if core.RectStop(emin, emax, eps) {
+		r.terminal = true
+		return r, nil
+	}
+	r.actions = a.selectActions(poly, ball.Center)
+	if len(r.actions) == 0 {
+		// No hyperplane can strictly narrow R further; more questions are
+		// pointless, so stop with the midpoint estimate.
+		r.terminal = true
+	}
+	return r, nil
+}
+
+// selectActions implements §IV-C's restricted action space: among a
+// candidate pool (all pairs of the top-K points by center utility plus
+// random pairs), keep the m_h pairs whose hyperplane is nearest the
+// inner-sphere center and properly splits R (both sides non-empty, checked
+// by LP — Lemma 8).
+func (a *AA) selectActions(poly *geom.Polytope, center []float64) []action {
+	type cand struct {
+		i, j int
+		dist float64
+	}
+	n := a.ds.Len()
+	// Top-K points by utility at the center.
+	k := a.cfg.TopK
+	if k > n {
+		k = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	scores := make([]float64, n)
+	for i, p := range a.ds.Points {
+		scores[i] = vec.Dot(center, p)
+	}
+	sort.Slice(idx, func(x, y int) bool { return scores[idx[x]] > scores[idx[y]] })
+	top := idx[:k]
+
+	var cands []cand
+	seen := map[[2]int]bool{}
+	add := func(i, j int) {
+		if i == j {
+			return
+		}
+		if i > j {
+			i, j = j, i
+		}
+		key := [2]int{i, j}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		pi, pj := a.ds.Points[i], a.ds.Points[j]
+		h := geom.NewHalfspace(pi, pj)
+		if vec.Norm(h.Normal) < 1e-12 {
+			return
+		}
+		cands = append(cands, cand{i: i, j: j, dist: h.Dist(center)})
+	}
+	for x := 0; x < len(top); x++ {
+		for y := x + 1; y < len(top); y++ {
+			add(top[x], top[y])
+		}
+	}
+	for t := 0; t < a.cfg.RandPairs; t++ {
+		add(a.rng.Intn(n), a.rng.Intn(n))
+	}
+	if a.cfg.RandomActions {
+		a.rng.Shuffle(len(cands), func(x, y int) { cands[x], cands[y] = cands[y], cands[x] })
+	} else {
+		sort.Slice(cands, func(x, y int) bool { return cands[x].dist < cands[y].dist })
+	}
+
+	// Greedy fill with an angular-diversity filter: a pool of nearly
+	// parallel hyperplanes would keep slicing the same direction and leave
+	// the outer rectangle wide elsewhere, so candidates too parallel to an
+	// already accepted cut are deferred to a second pass.
+	var out []action
+	var normals [][]float64
+	checks := 0
+	accept := func(c cand, requireDiverse bool) bool {
+		if len(out) >= a.cfg.Mh || checks >= a.cfg.MaxLPChecks {
+			return false
+		}
+		pi, pj := a.ds.Points[c.i], a.ds.Points[c.j]
+		h := geom.NewHalfspace(pi, pj)
+		n := vec.Clone(h.Normal)
+		vec.Normalize(n)
+		if requireDiverse {
+			for _, prev := range normals {
+				cos := vec.Dot(n, prev)
+				if cos > 0.9 || cos < -0.9 {
+					return true // skip, but keep scanning
+				}
+			}
+		}
+		checks++
+		if !poly.CutsBothSides(h, 1e-9) {
+			return true
+		}
+		feat := make([]float64, 0, 2*len(pi))
+		feat = append(feat, pi...)
+		feat = append(feat, pj...)
+		out = append(out, action{I: c.i, J: c.j, Feat: feat})
+		normals = append(normals, n)
+		return true
+	}
+	for _, c := range cands {
+		if !accept(c, true) {
+			break
+		}
+	}
+	if len(out) < a.cfg.Mh { // second pass without the diversity filter
+		seenPair := map[[2]int]bool{}
+		for _, ac := range out {
+			seenPair[[2]int{ac.I, ac.J}] = true
+		}
+		for _, c := range cands {
+			if seenPair[[2]int{c.i, c.j}] {
+				continue
+			}
+			if !accept(c, false) {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TrainStats summarizes a training run.
+type TrainStats struct {
+	Episodes   int
+	TotalSteps int
+	AvgRounds  float64
+	FinalLoss  float64
+}
+
+// Train runs Algorithm 3 over the training utility vectors.
+func (a *AA) Train(users [][]float64) (TrainStats, error) {
+	replay := rl.NewReplay(a.cfg.RL.ReplayCap)
+	stats := TrainStats{Episodes: len(users)}
+	var rounds float64
+	for ep, u := range users {
+		user := core.SimulatedUser{Utility: u}
+		epsilon := a.agent.Config().Epsilon.At(ep)
+		n, err := a.episode(user, epsilon, replay)
+		if err != nil {
+			return stats, fmt.Errorf("aa: training episode %d: %w", ep, err)
+		}
+		stats.TotalSteps += n
+		rounds += float64(n)
+		// One gradient step per environment step (see the matching comment
+		// in package ea).
+		if replay.Len() >= a.agent.Config().BatchSize {
+			for k := 0; k < n; k++ {
+				stats.FinalLoss = a.agent.TrainBatch(replay.Sample(a.rng, a.agent.Config().BatchSize))
+			}
+		}
+	}
+	if len(users) > 0 {
+		stats.AvgRounds = rounds / float64(len(users))
+	}
+	return stats, nil
+}
+
+func (a *AA) episode(user core.User, epsilon float64, replay *rl.Replay) (int, error) {
+	poly := geom.NewPolytope(a.ds.Dim())
+	cur, err := a.computeRound(poly, a.eps)
+	if err != nil {
+		return 0, err
+	}
+	rounds := 0
+	for !cur.terminal && rounds < a.cfg.MaxRounds {
+		ai := a.agent.SelectEpsGreedy(a.rng, cur.state, feats(cur.actions), epsilon)
+		act := cur.actions[ai]
+		pi, pj := a.ds.Points[act.I], a.ds.Points[act.J]
+		if user.Prefer(pi, pj) {
+			poly.Add(geom.NewHalfspace(pi, pj))
+		} else {
+			poly.Add(geom.NewHalfspace(pj, pi))
+		}
+		rounds++
+		a.maybeReduce(poly, rounds)
+		next, err := a.computeRound(poly, a.eps)
+		if err != nil {
+			return rounds, err
+		}
+		tr := rl.Transition{
+			State:    cur.state,
+			Action:   act.Feat,
+			Next:     next.state,
+			Terminal: next.terminal,
+		}
+		if next.terminal {
+			tr.Reward = a.agent.Config().RewardC
+		} else {
+			tr.NextActions = feats(next.actions)
+		}
+		replay.Add(tr)
+		cur = next
+	}
+	return rounds, nil
+}
+
+// maybeReduce prunes redundant halfspaces periodically so the per-round LPs
+// stay small on long interactions. The set representation is AA's only
+// state, and reduction preserves R exactly.
+func (a *AA) maybeReduce(poly *geom.Polytope, rounds int) {
+	if rounds%8 == 0 && len(poly.Halfspaces) > 2*poly.Dim {
+		poly.ReduceRedundant()
+	}
+}
+
+func feats(actions []action) [][]float64 {
+	fs := make([][]float64, len(actions))
+	for i, act := range actions {
+		fs[i] = act.Feat
+	}
+	return fs
+}
+
+// Run implements core.Algorithm (Algorithm 4: inference). It returns the
+// point with the highest utility w.r.t. the outer-rectangle midpoint once
+// the stopping condition of Lemma 9 holds.
+func (a *AA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Observer) (core.Result, error) {
+	if ds != a.ds && (ds.Len() != a.ds.Len() || ds.Dim() != a.ds.Dim()) {
+		return core.Result{}, core.ErrDatasetMismatch
+	}
+	poly := geom.NewPolytope(a.ds.Dim())
+	cur, err := a.computeRound(poly, eps)
+	if err != nil {
+		return core.Result{}, err
+	}
+	var trace []core.QA
+	rounds := 0
+	for !cur.terminal && rounds < a.cfg.MaxRounds {
+		ai := a.agent.Best(cur.state, feats(cur.actions))
+		act := cur.actions[ai]
+		pi, pj := a.ds.Points[act.I], a.ds.Points[act.J]
+		prefI := user.Prefer(pi, pj)
+		if prefI {
+			poly.Add(geom.NewHalfspace(pi, pj))
+		} else {
+			poly.Add(geom.NewHalfspace(pj, pi))
+		}
+		rounds++
+		a.maybeReduce(poly, rounds)
+		trace = append(trace, core.QA{I: act.I, J: act.J, PreferredI: prefI})
+		if obs != nil {
+			obs.Round(rounds, poly.Halfspaces)
+		}
+		if cur, err = a.computeRound(poly, eps); err != nil {
+			return core.Result{}, err
+		}
+	}
+	idx := a.ds.TopPoint(cur.mid)
+	return core.Result{
+		PointIndex: idx,
+		Point:      a.ds.Points[idx],
+		Rounds:     rounds,
+		Trace:      trace,
+	}, nil
+}

@@ -1,0 +1,222 @@
+package aa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isrl/internal/core"
+	"isrl/internal/dataset"
+	"isrl/internal/geom"
+)
+
+func testData(t *testing.T, n, d int, seed int64) *dataset.Dataset {
+	t.Helper()
+	ds := dataset.Anticorrelated(rand.New(rand.NewSource(seed)), n, d).Skyline()
+	if ds.Len() < 5 {
+		t.Fatalf("test dataset too small: %d", ds.Len())
+	}
+	return ds
+}
+
+func smallCfg() Config {
+	return Config{Mh: 4, TopK: 10, RandPairs: 40, MaxLPChecks: 30, MaxRounds: 120}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Mh != 5 || c.TopK != 20 || c.RandPairs != 100 || c.MaxLPChecks != 60 || c.MaxRounds != 400 {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+// Lemma 9's guarantee: regret ≤ d²ε always; empirically the actual regret
+// stays below ε (the paper's observation), checked here on average.
+func TestUntrainedAARegretBound(t *testing.T) {
+	ds := testData(t, 400, 3, 1)
+	rng := rand.New(rand.NewSource(2))
+	a := New(ds, 0.1, smallCfg(), rng)
+	d := float64(ds.Dim())
+	var sum float64
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		u := geom.SampleSimplex(rng, 3)
+		res, err := a.Run(ds, core.SimulatedUser{Utility: u}, 0.1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := ds.RegretRatio(res.Point, u)
+		if rr > d*d*0.1+1e-9 {
+			t.Errorf("trial %d: regret %v violates d²ε bound", trial, rr)
+		}
+		sum += rr
+		if res.Rounds >= smallCfg().MaxRounds {
+			t.Errorf("trial %d: hit round cap", trial)
+		}
+		if len(res.Trace) != res.Rounds {
+			t.Errorf("trace %d != rounds %d", len(res.Trace), res.Rounds)
+		}
+	}
+	if avg := sum / trials; avg > 0.1 {
+		t.Errorf("average regret %v above eps", avg)
+	}
+}
+
+func TestAAHighDimensional(t *testing.T) {
+	// AA's raison d'être: d=20 runs that EA cannot attempt.
+	rng := rand.New(rand.NewSource(3))
+	ds := dataset.Independent(rng, 400, 20)
+	ds = &dataset.Dataset{Name: ds.Name, Points: ds.Points[:200]} // keep LPs small in tests
+	a := New(ds, 0.15, smallCfg(), rng)
+	u := geom.SampleSimplex(rng, 20)
+	res, err := a.Run(ds, core.SimulatedUser{Utility: u}, 0.15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds == 0 || res.Rounds >= smallCfg().MaxRounds {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+	if rr := ds.RegretRatio(res.Point, u); rr > 0.5 {
+		t.Errorf("regret %v implausibly high for d=20", rr)
+	}
+}
+
+func TestTrainImprovesOrRuns(t *testing.T) {
+	ds := testData(t, 300, 3, 4)
+	rng := rand.New(rand.NewSource(5))
+	a := New(ds, 0.1, smallCfg(), rng)
+	users := make([][]float64, 50)
+	for i := range users {
+		users[i] = geom.SampleSimplex(rng, 3)
+	}
+	stats, err := a.Train(users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Episodes != 50 || stats.TotalSteps <= 0 || stats.AvgRounds <= 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	res, err := a.Run(ds, core.SimulatedUser{Utility: geom.SampleSimplex(rng, 3)}, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PointIndex < 0 || res.PointIndex >= ds.Len() {
+		t.Errorf("bad point index %d", res.PointIndex)
+	}
+}
+
+func TestLargerEpsFewerRounds(t *testing.T) {
+	ds := testData(t, 300, 3, 6)
+	rng := rand.New(rand.NewSource(7))
+	a := New(ds, 0.05, smallCfg(), rng)
+	tight, loose := 0, 0
+	for trial := 0; trial < 5; trial++ {
+		u := geom.SampleSimplex(rng, 3)
+		rt, err := a.Run(ds, core.SimulatedUser{Utility: u}, 0.03, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl2, err := a.Run(ds, core.SimulatedUser{Utility: u}, 0.3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tight += rt.Rounds
+		loose += rl2.Rounds
+	}
+	if loose > tight {
+		t.Errorf("loose eps rounds %d > tight %d", loose, tight)
+	}
+}
+
+func TestObserverAndMismatch(t *testing.T) {
+	ds := testData(t, 200, 3, 8)
+	rng := rand.New(rand.NewSource(9))
+	a := New(ds, 0.1, smallCfg(), rng)
+	var rounds int
+	obs := core.ObserverFunc(func(r int, hs []geom.Halfspace) { rounds = r })
+	res, err := a.Run(ds, core.SimulatedUser{Utility: geom.SampleSimplex(rng, 3)}, 0.1, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != res.Rounds {
+		t.Errorf("observer saw %d rounds, result says %d", rounds, res.Rounds)
+	}
+	other := testData(t, 300, 4, 10)
+	if _, err := a.Run(other, core.SimulatedUser{Utility: geom.SampleSimplex(rng, 4)}, 0.1, nil); err != core.ErrDatasetMismatch {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNoisyUserTerminates(t *testing.T) {
+	ds := testData(t, 200, 3, 11)
+	rng := rand.New(rand.NewSource(12))
+	a := New(ds, 0.1, smallCfg(), rng)
+	u := geom.SampleSimplex(rng, 3)
+	res, err := a.Run(ds, core.NoisyUser{Utility: u, FlipProb: 0.3, Rng: rng}, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PointIndex < 0 || res.PointIndex >= ds.Len() {
+		t.Errorf("point index %d", res.PointIndex)
+	}
+}
+
+// The action pool should carry diverse cut directions: a pool of nearly
+// parallel hyperplanes cannot shrink the outer rectangle in all dimensions.
+func TestActionDirectionDiversity(t *testing.T) {
+	ds := testData(t, 500, 4, 20)
+	rng := rand.New(rand.NewSource(21))
+	a := New(ds, 0.1, Config{Mh: 5, TopK: 15, RandPairs: 80, MaxLPChecks: 40, MaxRounds: 50}, rng)
+	poly := geom.NewPolytope(4)
+	ball, err := poly.InnerBall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := a.selectActions(poly, ball.Center)
+	if len(acts) < 2 {
+		t.Skipf("only %d actions available", len(acts))
+	}
+	// At least one pair of chosen normals must be clearly non-parallel.
+	normals := make([][]float64, len(acts))
+	for i, act := range acts {
+		n := make([]float64, 4)
+		for k := 0; k < 4; k++ {
+			n[k] = act.Feat[k] - act.Feat[4+k]
+		}
+		norm := 0.0
+		for _, v := range n {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		for k := range n {
+			n[k] /= norm
+		}
+		normals[i] = n
+	}
+	diverse := false
+	for i := 0; i < len(normals) && !diverse; i++ {
+		for j := i + 1; j < len(normals); j++ {
+			cos := 0.0
+			for k := 0; k < 4; k++ {
+				cos += normals[i][k] * normals[j][k]
+			}
+			if math.Abs(cos) < 0.9 {
+				diverse = true
+				break
+			}
+		}
+	}
+	if !diverse {
+		t.Error("all selected cut directions are nearly parallel")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for eps outside (0,1)")
+		}
+	}()
+	New(&dataset.Dataset{Points: [][]float64{{0.5, 0.5}}}, 2, Config{}, rng)
+}

@@ -1,0 +1,118 @@
+package baselines
+
+import (
+	"math"
+
+	"isrl/internal/core"
+	"isrl/internal/dataset"
+	"isrl/internal/geom"
+	"isrl/internal/vec"
+)
+
+// UtilityApproxConfig tunes the fake-tuple baseline.
+type UtilityApproxConfig struct {
+	MaxRounds int // cap, default 1000
+}
+
+func (c UtilityApproxConfig) defaults() UtilityApproxConfig {
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 1000
+	}
+	return c
+}
+
+// UtilityApprox reconstructs the SIGMOD'12 baseline discussed in the
+// paper's related work: it shows the user *artificial* tuples engineered so
+// each answer halves the feasible interval of one utility ratio. For every
+// dimension i ≥ 2 it binary-searches the ratio uᵢ/u₁ by comparing a fake
+// tuple scoring a·u₁ against one scoring b·uᵢ, then returns the dataset
+// point maximizing the estimated utility vector.
+//
+// Being fake-tuple based, its questions may show unrealistic products — the
+// deficiency (noted in the paper) that motivated the UH family. Its regret
+// is not certified; the halving depth is chosen from ε.
+type UtilityApprox struct {
+	cfg UtilityApproxConfig
+}
+
+// NewUtilityApprox returns the baseline.
+func NewUtilityApprox(cfg UtilityApproxConfig) *UtilityApprox {
+	return &UtilityApprox{cfg: cfg.defaults()}
+}
+
+// Name implements core.Algorithm.
+func (u *UtilityApprox) Name() string { return "UtilityApprox" }
+
+// Run implements core.Algorithm. Trace entries use index −1 for the fake
+// tuples (they are not dataset members).
+func (u *UtilityApprox) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Observer) (core.Result, error) {
+	d := ds.Dim()
+	// Halving depth: interval width on t = r/(1+r) shrinks by 2⁻ᵏ; stop at
+	// ~ε/d so the estimated vector is within ~ε of u* coordinate-wise.
+	target := eps / float64(d)
+	if target <= 0 || target >= 1 {
+		target = 0.05
+	}
+	depth := int(math.Ceil(math.Log2(1 / target)))
+	if depth < 1 {
+		depth = 1
+	}
+
+	ratios := make([]float64, d) // uᵢ/u₁ estimates; ratios[0] = 1
+	ratios[0] = 1
+	var halfspaces []geom.Halfspace // for observers: each answer is a halfspace on u
+	var trace []core.QA
+	rounds := 0
+
+	for i := 1; i < d && rounds < u.cfg.MaxRounds; i++ {
+		lo, hi := 0.0, 1.0 // t = r/(1+r) ∈ (0,1)
+		for k := 0; k < depth && rounds < u.cfg.MaxRounds; k++ {
+			t := (lo + hi) / 2
+			// Threshold ratio r = t/(1−t); compare a·u₁ vs b·uᵢ with
+			// a/b = r, scaled into (0,1].
+			r := t / (1 - t)
+			a, b := r, 1.0
+			if a > 1 {
+				a, b = 1, 1/r
+			}
+			if a < 1e-9 {
+				a = 1e-9
+			}
+			fake1 := make([]float64, d) // scores a·u₁
+			fake1[0] = a
+			fake2 := make([]float64, d) // scores b·uᵢ
+			fake2[i] = b
+			prefFirst := user.Prefer(fake1, fake2)
+			// prefFirst ⇔ a·u₁ ≥ b·uᵢ ⇔ uᵢ/u₁ ≤ a/b = r ⇔ t* ≤ t.
+			if prefFirst {
+				hi = t
+			} else {
+				lo = t
+			}
+			rounds++
+			trace = append(trace, core.QA{I: -1, J: -1, PreferredI: prefFirst})
+			halfspaces = append(halfspaces, geom.NewHalfspace(chooseFake(prefFirst, fake1, fake2), chooseFake(!prefFirst, fake1, fake2)))
+			if obs != nil {
+				obs.Round(rounds, halfspaces)
+			}
+		}
+		tMid := (lo + hi) / 2
+		ratios[i] = tMid / (1 - tMid)
+	}
+	// Normalize the estimate onto the simplex and return its top point.
+	est := vec.Clone(ratios)
+	if s := vec.Sum(est); s > 0 {
+		vec.Scale(est, 1/s, est)
+	} else {
+		est = geom.SimplexCentroid(d)
+	}
+	idx := ds.TopPoint(est)
+	return core.Result{PointIndex: idx, Point: ds.Points[idx], Rounds: rounds, Trace: trace}, nil
+}
+
+func chooseFake(first bool, a, b []float64) []float64 {
+	if first {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"isrl/internal/dataset"
+)
+
+// Session inverts control of an interactive search: instead of the
+// algorithm calling back into a blocking User, the application pulls the
+// next question with Next, shows it to its real user (web form, chat,
+// survey...), and pushes the answer back with Answer. The algorithm runs in
+// a background goroutine bridged by channels.
+//
+// The protocol is strictly alternating: Next, Answer, Next, Answer, ...
+// until Next reports done, after which Result returns the outcome. Close
+// aborts an unfinished session and releases the goroutine. A Session is not
+// safe for concurrent use by multiple goroutines.
+type Session struct {
+	questions chan [2][]float64
+	answers   chan bool
+	finished  chan struct{}
+
+	result  Result
+	err     error
+	lastQ   [2][]float64 // question delivered by Next, awaiting Answer
+	pending bool         // a question was delivered and awaits Answer
+	done    bool
+	closed  chan struct{}
+}
+
+// ErrSessionClosed is returned by Result when the session was aborted.
+var ErrSessionClosed = errors.New("core: session closed before completion")
+
+// errSessionAborted signals the algorithm goroutine to unwind.
+var errSessionAborted = errors.New("core: session aborted")
+
+// NewSession starts alg on ds with threshold eps, returning the handle the
+// application drives. The algorithm runs in its own goroutine and blocks
+// whenever it needs an answer.
+func NewSession(alg Algorithm, ds *dataset.Dataset, eps float64) *Session {
+	s := &Session{
+		questions: make(chan [2][]float64),
+		answers:   make(chan bool),
+		finished:  make(chan struct{}),
+		closed:    make(chan struct{}),
+	}
+	go func() {
+		defer close(s.finished)
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok && errors.Is(err, errSessionAborted) {
+					s.err = ErrSessionClosed
+					return
+				}
+				panic(r) // a real bug; do not swallow it
+			}
+		}()
+		res, err := alg.Run(ds, sessionUser{s}, eps, nil)
+		s.result, s.err = res, err
+	}()
+	return s
+}
+
+// sessionUser bridges the algorithm's blocking Prefer calls onto the
+// session channels.
+type sessionUser struct{ s *Session }
+
+// Prefer implements User. It blocks until the application answers, and
+// unwinds the algorithm goroutine when the session is closed.
+func (u sessionUser) Prefer(pi, pj []float64) bool {
+	select {
+	case u.s.questions <- [2][]float64{pi, pj}:
+	case <-u.s.closed:
+		panic(errSessionAborted)
+	}
+	select {
+	case ans := <-u.s.answers:
+		return ans
+	case <-u.s.closed:
+		panic(errSessionAborted)
+	}
+}
+
+// Next returns the next question to show the user, or done=true when the
+// search has finished (call Result). Calling Next twice without answering
+// returns the same pending question.
+func (s *Session) Next() (pi, pj []float64, done bool) {
+	if s.done {
+		return nil, nil, true
+	}
+	if s.pending {
+		return s.lastQ[0], s.lastQ[1], false
+	}
+	select {
+	case q := <-s.questions:
+		s.lastQ = q
+		s.pending = true
+		return q[0], q[1], false
+	case <-s.finished:
+		s.done = true
+		return nil, nil, true
+	}
+}
+
+// Answer submits the user's choice for the pending question: preferFirst is
+// true when the first tuple of Next's pair was chosen. It errors when no
+// question is pending.
+func (s *Session) Answer(preferFirst bool) error {
+	if !s.pending {
+		return fmt.Errorf("core: Answer without a pending question")
+	}
+	s.pending = false
+	select {
+	case s.answers <- preferFirst:
+		return nil
+	case <-s.finished:
+		// The algorithm finished while the answer was in flight (it only
+		// happens if Run aborted); surface at Result.
+		s.done = true
+		return nil
+	}
+}
+
+// Result blocks until the search completes and returns its outcome. It
+// errors if questions remain unanswered (the session would deadlock) or the
+// session was closed.
+func (s *Session) Result() (Result, error) {
+	if s.pending {
+		return Result{}, fmt.Errorf("core: Result with an unanswered question pending")
+	}
+	<-s.finished
+	s.done = true
+	return s.result, s.err
+}
+
+// Close aborts the session; subsequent Result calls return
+// ErrSessionClosed. Closing a finished session is a no-op.
+func (s *Session) Close() {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	<-s.finished
+	s.done = true
+}

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteCSV writes the dataset with a header row of attribute names (or
+// generated a1..ad names when Attrs is unset).
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	dim := d.Dim()
+	hdr := d.Attrs
+	if len(hdr) != dim {
+		hdr = make([]string, dim)
+		for j := range hdr {
+			hdr[j] = fmt.Sprintf("a%d", j+1)
+		}
+	}
+	if err := cw.Write(hdr); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	rec := make([]string, dim)
+	for _, p := range d.Points {
+		for j, v := range p {
+			rec[j] = strconv.FormatFloat(v, 'g', 17, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or any numeric CSV with a
+// header row).
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if len(recs) < 2 {
+		return nil, fmt.Errorf("dataset: csv %q needs a header and at least one row", name)
+	}
+	attrs := recs[0]
+	dim := len(attrs)
+	pts := make([][]float64, 0, len(recs)-1)
+	for i, rec := range recs[1:] {
+		if len(rec) != dim {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, want %d", i+1, len(rec), dim)
+		}
+		p := make([]float64, dim)
+		for j, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d field %d: %w", i+1, j, err)
+			}
+			p[j] = v
+		}
+		pts = append(pts, p)
+	}
+	return &Dataset{Name: name, Points: pts, Attrs: attrs}, nil
+}
+
+// SaveFile writes the dataset to path as CSV.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	if err := d.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a CSV dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(f, path)
+}

@@ -1,0 +1,294 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"isrl/internal/geom"
+	"isrl/internal/vec"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{0.5, 0.5}, true},
+		{[]float64{1, 0.5}, []float64{1, 0.5}, false}, // equal: not strict
+		{[]float64{1, 0.4}, []float64{0.5, 0.5}, false},
+		{[]float64{1, 0.5}, []float64{1, 0.4}, true},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v,%v)=%v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSkylineSmall(t *testing.T) {
+	// The paper's Table III: p2 (0.3,0.7) and p4 (0.7,0.4) are dominated
+	// by p3 (0.5,0.8)? p2 yes (0.5>0.3, 0.8>0.7); p4 no (0.5<0.7).
+	d := &Dataset{Points: [][]float64{
+		{1e-6, 1.0}, {0.3, 0.7}, {0.5, 0.8}, {0.7, 0.4}, {1.0, 1e-6},
+	}}
+	sky := d.Skyline()
+	if sky.Len() != 4 {
+		t.Fatalf("skyline size %d want 4: %v", sky.Len(), sky.Points)
+	}
+	for _, p := range sky.Points {
+		if p[0] == 0.3 && p[1] == 0.7 {
+			t.Error("dominated point p2 kept in skyline")
+		}
+	}
+}
+
+// Property: no skyline point dominates another, and every removed point is
+// dominated by some skyline point.
+func TestSkylineInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		d := Independent(rng, 300, 2+rng.Intn(3))
+		sky := d.Skyline()
+		for i, a := range sky.Points {
+			for j, b := range sky.Points {
+				if i != j && Dominates(a, b) {
+					t.Fatalf("skyline point dominates another")
+				}
+			}
+		}
+		for _, p := range d.Points {
+			inSky := false
+			dominated := false
+			for _, s := range sky.Points {
+				if &s[0] == &p[0] {
+					inSky = true
+					break
+				}
+				if Dominates(s, p) {
+					dominated = true
+				}
+			}
+			if !inSky && !dominated {
+				t.Fatalf("removed point %v not dominated", p)
+			}
+		}
+	}
+}
+
+// Property: skyline preserves the top-1 point for any utility vector.
+func TestSkylinePreservesTop1(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := Anticorrelated(rng, 500, 4)
+	sky := d.Skyline()
+	for trial := 0; trial < 50; trial++ {
+		u := geom.SampleSimplex(rng, 4)
+		if math.Abs(d.MaxUtility(u)-sky.MaxUtility(u)) > 1e-12 {
+			t.Fatalf("max utility changed by skyline: %v vs %v", d.MaxUtility(u), sky.MaxUtility(u))
+		}
+	}
+}
+
+func TestGeneratorsShapeAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range []*Dataset{
+		Anticorrelated(rng, 200, 4),
+		Independent(rng, 200, 3),
+		Correlated(rng, 200, 5),
+	} {
+		if d.Len() != 200 {
+			t.Errorf("%s: len %d", d.Name, d.Len())
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+// Anti-correlated data must have a much larger skyline than correlated data
+// of the same shape — the generator's defining property.
+func TestAnticorrelatedSkylineLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	anti := Anticorrelated(rng, 2000, 4).Skyline().Len()
+	corr := Correlated(rng, 2000, 4).Skyline().Len()
+	if anti < 3*corr {
+		t.Errorf("skyline sizes anti=%d corr=%d; want anti ≫ corr", anti, corr)
+	}
+}
+
+// Pairwise correlation sign check for the anti-correlated generator.
+func TestAnticorrelatedNegativeCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := Anticorrelated(rng, 3000, 2)
+	if corr := pearson(d, 0, 1); corr > -0.3 {
+		t.Errorf("corr(a1,a2) = %v, want strongly negative", corr)
+	}
+}
+
+func pearson(d *Dataset, i, j int) float64 {
+	n := float64(d.Len())
+	var mi, mj float64
+	for _, p := range d.Points {
+		mi += p[i]
+		mj += p[j]
+	}
+	mi /= n
+	mj /= n
+	var sij, sii, sjj float64
+	for _, p := range d.Points {
+		sij += (p[i] - mi) * (p[j] - mj)
+		sii += (p[i] - mi) * (p[i] - mi)
+		sjj += (p[j] - mj) * (p[j] - mj)
+	}
+	return sij / math.Sqrt(sii*sjj)
+}
+
+func TestSyntheticCar(t *testing.T) {
+	d := SyntheticCar(rand.New(rand.NewSource(6)))
+	if d.Len() != 10668 || d.Dim() != 3 {
+		t.Fatalf("car shape %dx%d", d.Len(), d.Dim())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Affordability vs condition must be anti-correlated (price trade-off).
+	if corr := pearson(d, 0, 1); corr > -0.3 {
+		t.Errorf("corr(affordability,condition) = %v, want negative", corr)
+	}
+	// A large skyline is the point of the benchmark: the interaction must
+	// not be trivial.
+	if s := d.Skyline().Len(); s < 100 {
+		t.Errorf("car skyline = %d, want ≥ 100", s)
+	}
+}
+
+func TestSyntheticPlayer(t *testing.T) {
+	d := SyntheticPlayer(rand.New(rand.NewSource(7)))
+	if d.Len() != 17386 || d.Dim() != 20 {
+		t.Fatalf("player shape %dx%d", d.Len(), d.Dim())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Attrs) != 20 {
+		t.Errorf("attrs %d", len(d.Attrs))
+	}
+	// Stats share a latent skill: scoring stats positively correlated.
+	if corr := pearson(d, 2, 3); corr < 0.2 {
+		t.Errorf("corr(points,fgm) = %v, want positive", corr)
+	}
+	// High-dimensional skyline must be large (the hard regime).
+	sub := &Dataset{Points: d.Points[:3000]}
+	if s := sub.Skyline().Len(); s < 500 {
+		t.Errorf("player skyline of 3000-sample = %d, want large", s)
+	}
+}
+
+func TestRegretRatioExamples(t *testing.T) {
+	// The paper's Example 2: u=(0.3,0.7); regratio(p2) = (0.71−0.58)/0.71.
+	d := &Dataset{Points: [][]float64{
+		{1e-9, 1.0}, {0.3, 0.7}, {0.5, 0.8}, {0.7, 0.4}, {1.0, 1e-9},
+	}}
+	u := []float64{0.3, 0.7}
+	got := d.RegretRatio(d.Points[1], u)
+	want := (0.71 - 0.58) / 0.71
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("regret ratio = %v want %v", got, want)
+	}
+	// Top point has zero regret.
+	if rr := d.RegretRatio(d.Points[2], u); rr != 0 {
+		t.Errorf("top point regret = %v", rr)
+	}
+	if d.TopPoint(u) != 2 {
+		t.Errorf("TopPoint = %d want 2", d.TopPoint(u))
+	}
+}
+
+// Property: regret ratio is always in [0, 1] for in-dataset points.
+func TestRegretRatioBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := Independent(rng, 100, 3)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := geom.SampleSimplex(r, 3)
+		q := d.Points[r.Intn(d.Len())]
+		rr := d.RegretRatio(q, u)
+		return rr >= 0 && rr <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	d := &Dataset{Points: [][]float64{{10, 5}, {20, 5}, {15, 5}}}
+	d.Normalize()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Points[1][0] != 1 {
+		t.Errorf("max must map to 1, got %v", d.Points[1][0])
+	}
+	if d.Points[0][1] != 1 {
+		t.Errorf("constant column must map to 1, got %v", d.Points[0][1])
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := Anticorrelated(rng, 50, 3)
+	d.Attrs = []string{"x", "y", "z"}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.Dim() != d.Dim() {
+		t.Fatalf("shape changed: %dx%d", back.Len(), back.Dim())
+	}
+	for i := range d.Points {
+		if !vec.Equal(d.Points[i], back.Points[i], 0) {
+			t.Fatalf("row %d changed: %v vs %v", i, d.Points[i], back.Points[i])
+		}
+	}
+	if back.Attrs[2] != "z" {
+		t.Errorf("attrs lost: %v", back.Attrs)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n"), "empty"); err == nil {
+		t.Error("header-only csv must fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n1,notanumber\n"), "bad"); err == nil {
+		t.Error("non-numeric field must fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n1\n"), "ragged"); err == nil {
+		t.Error("ragged row must fail")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := &Dataset{Name: "x", Points: [][]float64{{0.5, 0.5}}}
+	c := d.Clone()
+	c.Points[0][0] = 0.9
+	if d.Points[0][0] != 0.5 {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestValidateCatchesBadValues(t *testing.T) {
+	d := &Dataset{Points: [][]float64{{0.5, 0}}}
+	if err := d.Validate(); err == nil {
+		t.Error("zero attribute must fail validation (domain is (0,1])")
+	}
+	d2 := &Dataset{Points: [][]float64{{0.5, 0.5}, {0.5}}}
+	if err := d2.Validate(); err == nil {
+		t.Error("ragged dataset must fail validation")
+	}
+}

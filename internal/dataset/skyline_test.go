@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The parallel path must produce exactly the same skyline set as the
+// sequential path.
+func TestParallelSkylineMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Anticorrelated(rng, 30000, 3) // above parallelThreshold
+	par := d.Skyline()
+
+	seq := skylineBNL(d.Points)
+	if len(seq) != par.Len() {
+		t.Fatalf("parallel skyline %d points, sequential %d", par.Len(), len(seq))
+	}
+	key := func(p []float64) [3]float64 { return [3]float64{p[0], p[1], p[2]} }
+	seen := map[[3]float64]bool{}
+	for _, p := range seq {
+		seen[key(p)] = true
+	}
+	for _, p := range par.Points {
+		if !seen[key(p)] {
+			t.Fatalf("parallel skyline contains %v not in sequential skyline", p)
+		}
+	}
+}
+
+func TestSkylineLargeNoDominated(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := Independent(rng, 25000, 4)
+	sky := d.Skyline()
+	if sky.Len() == 0 || sky.Len() >= d.Len() {
+		t.Fatalf("suspicious skyline size %d of %d", sky.Len(), d.Len())
+	}
+	// Sample pairs: no skyline point dominates another.
+	idx := rng.Perm(sky.Len())
+	if len(idx) > 200 {
+		idx = idx[:200]
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		for _, j := range idx {
+			if i != j && Dominates(sky.Points[i], sky.Points[j]) {
+				t.Fatalf("skyline point %d dominates %d", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkSkyline100k4d(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	d := Anticorrelated(rng, 100000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Skyline()
+	}
+}

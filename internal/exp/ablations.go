@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"isrl/internal/aa"
+	"isrl/internal/core"
+	"isrl/internal/dataset"
+	"isrl/internal/ea"
+	"isrl/internal/rl"
+)
+
+// named pairs a display label with an algorithm variant.
+type named struct {
+	label string
+	alg   core.Algorithm
+}
+
+func (c Config) ablTable(id, title string, ds *dataset.Dataset, variants []named) (*Table, error) {
+	t := &Table{ID: id, Title: title,
+		Columns: []string{"variant", "rounds", "time_s", "regret"}}
+	users := c.testUsers(ds.Dim())
+	for _, v := range variants {
+		s, err := Measure(v.alg, ds, c.Eps, users)
+		if err != nil {
+			return nil, err
+		}
+		c.logf("%s %s: rounds=%.1f", id, v.label, s.Rounds)
+		t.AddRow(v.label, s.Rounds, s.Seconds, s.Regret)
+	}
+	return t, nil
+}
+
+// ablState isolates EA's two-part state (§IV-B): full state vs sphere-only
+// vs extremes-only.
+func ablState(c Config) (*Table, error) {
+	ds := c.synthetic(c.N, 4)
+	full, err := c.trainedEA(ds, c.Eps, ea.Config{}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	noExt, err := c.trainedEA(ds, c.Eps, ea.Config{NoExtremeState: true}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	noSph, err := c.trainedEA(ds, c.Eps, ea.Config{NoSphereState: true}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	return c.ablTable("abl-state", "EA state ablation (d=4)", ds, []named{
+		{"EA full state", full},
+		{"EA no extreme vectors", noExt},
+		{"EA no outer sphere", noSph},
+	})
+}
+
+// ablAction isolates AA's nearest-to-center action heuristic (§IV-C).
+func ablAction(c Config) (*Table, error) {
+	ds := c.synthetic(c.N, 4)
+	near, err := c.trainedAA(ds, c.Eps, aa.Config{}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	random, err := c.trainedAA(ds, c.Eps, aa.Config{RandomActions: true}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	return c.ablTable("abl-action", "AA action-selection ablation (d=4)", ds, []named{
+		{"AA nearest-to-center", near},
+		{"AA random pairs", random},
+	})
+}
+
+// ablGreedy isolates the Lemma-2 greedy max-coverage vertex selection.
+func ablGreedy(c Config) (*Table, error) {
+	ds := c.synthetic(c.N, 4)
+	greedy, err := c.trainedEA(ds, c.Eps, ea.Config{}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	random, err := c.trainedEA(ds, c.Eps, ea.Config{RandomCover: true}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	return c.ablTable("abl-greedy", "greedy vs random vertex cover (d=4)", ds, []named{
+		{"EA greedy cover", greedy},
+		{"EA random cover", random},
+	})
+}
+
+// ablDQN compares the stabilized DQN recipe (Adam + Huber + Double DQN +
+// unit reward — this repository's default) against the paper's verbatim §V
+// setup (plain SGD, MSE, c = 100). A wide action space (m_h = 16) is used so
+// question selection actually matters; see DESIGN.md §2.
+func ablDQN(c Config) (*Table, error) {
+	ds := c.synthetic(c.N, 4)
+	const mh = 16
+	stab, err := c.trainedEA(ds, c.Eps, ea.Config{Mh: mh}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	paper, err := c.trainedEA(ds, c.Eps, ea.Config{Mh: mh, RL: rl.PaperConfig()}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.trainedEA(ds, c.Eps, ea.Config{Mh: mh}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return c.ablTable("abl-dqn", "DQN recipe ablation (EA, m_h=16, d=4)", ds, []named{
+		{"EA stabilized recipe", stab},
+		{"EA paper §V recipe", paper},
+		{"EA untrained", raw},
+	})
+}
+
+// ablRL isolates the RL contribution itself: trained vs untrained agents.
+func ablRL(c Config) (*Table, error) {
+	ds := c.synthetic(c.N, 4)
+	eaTrained, err := c.trainedEA(ds, c.Eps, ea.Config{}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	eaRaw, err := c.trainedEA(ds, c.Eps, ea.Config{}, 0)
+	if err != nil {
+		return nil, err
+	}
+	aaTrained, err := c.trainedAA(ds, c.Eps, aa.Config{}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	aaRaw, err := c.trainedAA(ds, c.Eps, aa.Config{}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return c.ablTable("abl-rl", "trained vs untrained agents (d=4)", ds, []named{
+		{"EA trained", eaTrained},
+		{"EA untrained", eaRaw},
+		{"AA trained", aaTrained},
+		{"AA untrained", aaRaw},
+	})
+}

@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"isrl/internal/aa"
+	"isrl/internal/baselines"
+	"isrl/internal/core"
+	"isrl/internal/ea"
+)
+
+// extAdaptive quantifies the related-work claim of §II-A: an algorithm that
+// learns the user's *preference vector* (Adaptive, Qian et al. VLDB'15)
+// asks many more questions than one that targets an ε-regret *tuple*,
+// because it keeps asking after some tuple is already certifiably good
+// enough.
+func extAdaptive(c Config) (*Table, error) {
+	ds := c.synthetic(c.N, 3)
+	e, err := c.trainedEA(ds, c.Eps, ea.Config{}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	a, err := c.trainedAA(ds, c.Eps, aa.Config{}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	algos := []core.Algorithm{
+		e,
+		a,
+		baselines.NewAdaptive(baselines.AdaptiveConfig{}, c.rng(61)),
+	}
+	return c.sweepEps("ext-adaptive", "tuple-targeting vs preference-learning (d=3)", ds, algos)
+}

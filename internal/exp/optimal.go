@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"isrl/internal/itree"
+)
+
+// extOpt measures the optimality gap: at d=2 the minimum worst-case number
+// of questions is computable exactly (package itree), so every algorithm's
+// measured rounds can be compared against the true optimum — quantifying
+// how much of the possible improvement the RL policies capture. This
+// extends the paper's Figure 1 analysis from an illustration to a
+// measurement.
+func extOpt(c Config) (*Table, error) {
+	ds := c.synthetic(c.N, 2)
+	tree, err := itree.New(ds, c.Eps)
+	if err != nil {
+		return nil, err
+	}
+	optWorst := tree.OptimalRounds()
+
+	algos, err := c.lowDimAlgos(ds, c.Eps)
+	if err != nil {
+		return nil, err
+	}
+	users := c.testUsers(2)
+	// Per-user optimal averages, for a like-for-like mean comparison.
+	var optMean float64
+	for _, u := range users {
+		tstar := u[0] // u = (t, 1−t)
+		optMean += float64(tree.OptimalRoundsFor(tstar))
+	}
+	optMean /= float64(len(users))
+
+	t := &Table{ID: "ext-opt", Title: "optimality gap vs exact interaction tree (d=2)",
+		Columns: []string{"algorithm", "rounds", "optimal_rounds", "gap"}}
+	t.AddRow("optimal-policy(worst-case)", float64(optWorst), float64(optWorst), 0.0)
+	for _, alg := range algos {
+		s, err := Measure(alg, ds, c.Eps, users)
+		if err != nil {
+			return nil, err
+		}
+		c.logf("ext-opt %s rounds=%.2f optimal=%.2f", alg.Name(), s.Rounds, optMean)
+		t.AddRow(alg.Name(), s.Rounds, optMean, s.Rounds-optMean)
+	}
+	return t, nil
+}

@@ -1,0 +1,54 @@
+package exp
+
+import "fmt"
+
+// Experiment is one reproducible artifact of the paper's evaluation.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Table, error)
+}
+
+// Registry lists every experiment: one entry per figure of §V plus the
+// ablations of DESIGN.md §5.
+var Registry = []Experiment{
+	{ID: "fig6a", Title: "Fig 6(a): vary training-set size (d=4)", Run: fig6a},
+	{ID: "fig6b", Title: "Fig 6(b): vary action-space size m_h (d=4)", Run: fig6b},
+	{ID: "fig7", Title: "Fig 7: interaction progress (d=4)", Run: fig7},
+	{ID: "fig8", Title: "Fig 8: interaction progress (d=20)", Run: fig8},
+	{ID: "fig9", Title: "Fig 9: vary eps (d=4, all algorithms)", Run: fig9},
+	{ID: "fig10", Title: "Fig 10: vary eps (d=20, AA vs SinglePass)", Run: fig10},
+	{ID: "fig11", Title: "Fig 11: vary n (d=4)", Run: fig11},
+	{ID: "fig12", Title: "Fig 12: vary n (d=20)", Run: fig12},
+	{ID: "fig13", Title: "Fig 13: vary d in 2..5", Run: fig13},
+	{ID: "fig14", Title: "Fig 14: vary d in 5..25", Run: fig14},
+	{ID: "fig15", Title: "Fig 15: vary eps on Car", Run: fig15},
+	{ID: "fig16", Title: "Fig 16: vary eps on Player", Run: fig16},
+	{ID: "abl-state", Title: "Ablation: EA state parts", Run: ablState},
+	{ID: "abl-action", Title: "Ablation: AA action heuristic", Run: ablAction},
+	{ID: "abl-greedy", Title: "Ablation: greedy vs random vertex cover", Run: ablGreedy},
+	{ID: "abl-rl", Title: "Ablation: trained vs untrained agents", Run: ablRL},
+	{ID: "abl-dqn", Title: "Ablation: stabilized vs paper DQN recipe", Run: ablDQN},
+	{ID: "ext-noise", Title: "Extension: noisy-user sweep (paper §VI future work)", Run: extNoise},
+	{ID: "ext-opt", Title: "Extension: optimality gap vs exact interaction tree (d=2)", Run: extOpt},
+	{ID: "ext-adaptive", Title: "Extension: tuple-targeting vs preference-learning (related work §II-A)", Run: extAdaptive},
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, IDs())
+}
+
+// IDs lists the registered experiment ids in order.
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, e := range Registry {
+		out[i] = e.ID
+	}
+	return out
+}

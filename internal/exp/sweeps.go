@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"math/rand"
+
+	"isrl/internal/aa"
+	"isrl/internal/baselines"
+	"isrl/internal/core"
+	"isrl/internal/dataset"
+	"isrl/internal/ea"
+)
+
+// epsGrid is the paper's threshold sweep (Figures 9, 10, 15, 16).
+var epsGrid = []float64{0.05, 0.1, 0.15, 0.2, 0.25}
+
+// lowDimAlgos assembles the full low-dimensional comparison: trained EA and
+// AA plus all published baselines (the paper's Figure 9 line-up).
+func (c Config) lowDimAlgos(ds *dataset.Dataset, eps float64) ([]core.Algorithm, error) {
+	e, err := c.trainedEA(ds, eps, ea.Config{}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	a, err := c.trainedAA(ds, eps, aa.Config{}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	return []core.Algorithm{
+		e,
+		a,
+		baselines.NewUHRandom(baselines.UHConfig{}, c.rng(23)),
+		baselines.NewUHSimplex(baselines.UHConfig{}, c.rng(29)),
+		baselines.NewSinglePass(baselines.SinglePassConfig{}, c.rng(31)),
+	}, nil
+}
+
+// highDimAlgos assembles the d ≥ 10 comparison, where only AA and
+// SinglePass remain viable (the paper's Figure 10 line-up).
+func (c Config) highDimAlgos(ds *dataset.Dataset, eps float64) ([]core.Algorithm, error) {
+	a, err := c.trainedAA(ds, eps, aa.Config{}, c.TrainEpisodes)
+	if err != nil {
+		return nil, err
+	}
+	return []core.Algorithm{
+		a,
+		baselines.NewSinglePass(baselines.SinglePassConfig{}, c.rng(31)),
+	}, nil
+}
+
+// sweepEps renders an ε sweep (rounds, time, actual regret per algorithm).
+func (c Config) sweepEps(id, title string, ds *dataset.Dataset, algos []core.Algorithm) (*Table, error) {
+	t := &Table{ID: id, Title: title,
+		Columns: []string{"eps", "algorithm", "rounds", "time_s", "regret"}}
+	users := c.testUsers(ds.Dim())
+	for _, eps := range epsGrid {
+		for _, alg := range algos {
+			s, err := Measure(alg, ds, eps, users)
+			if err != nil {
+				return nil, err
+			}
+			c.logf("%s eps=%.2f %s: rounds=%.1f time=%.3fs regret=%.4f", id, eps, alg.Name(), s.Rounds, s.Seconds, s.Regret)
+			t.AddRow(eps, alg.Name(), s.Rounds, s.Seconds, s.Regret)
+		}
+	}
+	return t, nil
+}
+
+// fig9 — Vary ε on the 4-dimensional synthetic dataset; all algorithms.
+func fig9(c Config) (*Table, error) {
+	ds := c.synthetic(c.N, 4)
+	algos, err := c.lowDimAlgos(ds, c.Eps)
+	if err != nil {
+		return nil, err
+	}
+	return c.sweepEps("fig9", "vary eps, anti-correlated d=4", ds, algos)
+}
+
+// fig10 — Vary ε on the 20-dimensional synthetic dataset; AA vs SinglePass.
+func fig10(c Config) (*Table, error) {
+	ds := c.synthetic(c.N, 20)
+	algos, err := c.highDimAlgos(ds, c.Eps)
+	if err != nil {
+		return nil, err
+	}
+	return c.sweepEps("fig10", "vary eps, anti-correlated d=20", ds, algos)
+}
+
+// sweepN renders a dataset-size sweep at fixed ε.
+func (c Config) sweepN(id, title string, d int, grid []int, high bool) (*Table, error) {
+	t := &Table{ID: id, Title: title,
+		Columns: []string{"n", "algorithm", "rounds", "time_s", "regret"}}
+	users := c.testUsers(d)
+	for _, n := range grid {
+		ds := c.synthetic(n, d)
+		var algos []core.Algorithm
+		var err error
+		if high {
+			algos, err = c.highDimAlgos(ds, c.Eps)
+		} else {
+			algos, err = c.lowDimAlgos(ds, c.Eps)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, alg := range algos {
+			s, err := Measure(alg, ds, c.Eps, users)
+			if err != nil {
+				return nil, err
+			}
+			c.logf("%s n=%d %s: rounds=%.1f time=%.3fs", id, n, alg.Name(), s.Rounds, s.Seconds)
+			t.AddRow(n, alg.Name(), s.Rounds, s.Seconds, s.Regret)
+		}
+	}
+	return t, nil
+}
+
+// nGrid scales the paper's 10k→1M sweep around the configured N.
+func (c Config) nGrid() []int {
+	return []int{c.N / 10, c.N / 3, c.N, 3 * c.N}
+}
+
+// fig11 — Vary n at d=4.
+func fig11(c Config) (*Table, error) {
+	return c.sweepN("fig11", "vary n, anti-correlated d=4", 4, c.nGrid(), false)
+}
+
+// fig12 — Vary n at d=20.
+func fig12(c Config) (*Table, error) {
+	return c.sweepN("fig12", "vary n, anti-correlated d=20", 20, c.nGrid(), true)
+}
+
+// sweepD renders a dimensionality sweep at fixed ε and n.
+func (c Config) sweepD(id, title string, grid []int, high bool) (*Table, error) {
+	t := &Table{ID: id, Title: title,
+		Columns: []string{"d", "algorithm", "rounds", "time_s", "regret"}}
+	for _, d := range grid {
+		ds := c.synthetic(c.N, d)
+		users := c.testUsers(d)
+		var algos []core.Algorithm
+		var err error
+		if high {
+			algos, err = c.highDimAlgos(ds, c.Eps)
+		} else {
+			algos, err = c.lowDimAlgos(ds, c.Eps)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, alg := range algos {
+			s, err := Measure(alg, ds, c.Eps, users)
+			if err != nil {
+				return nil, err
+			}
+			c.logf("%s d=%d %s: rounds=%.1f time=%.3fs", id, d, alg.Name(), s.Rounds, s.Seconds)
+			t.AddRow(d, alg.Name(), s.Rounds, s.Seconds, s.Regret)
+		}
+	}
+	return t, nil
+}
+
+// fig13 — Vary d ∈ {2..5} (low-dimensional regime, all algorithms).
+func fig13(c Config) (*Table, error) {
+	return c.sweepD("fig13", "vary d (low), anti-correlated", []int{2, 3, 4, 5}, false)
+}
+
+// fig14 — Vary d ∈ {5..25} (high-dimensional regime, AA vs SinglePass).
+func fig14(c Config) (*Table, error) {
+	return c.sweepD("fig14", "vary d (high), anti-correlated", []int{5, 10, 15, 20, 25}, true)
+}
+
+// carData builds the Car stand-in, optionally subsampled to the configured
+// N (Tiny/Quick runs), then skyline-preprocessed.
+func (c Config) carData() *dataset.Dataset {
+	ds := dataset.SyntheticCar(c.rng(37))
+	return c.subsample(ds, c.rng(41)).Skyline()
+}
+
+// playerData builds the Player stand-in likewise.
+func (c Config) playerData() *dataset.Dataset {
+	ds := dataset.SyntheticPlayer(c.rng(43))
+	return c.subsample(ds, c.rng(47)).Skyline()
+}
+
+func (c Config) subsample(ds *dataset.Dataset, rng *rand.Rand) *dataset.Dataset {
+	if c.N <= 0 || ds.Len() <= c.N {
+		return ds
+	}
+	idx := rng.Perm(ds.Len())[:c.N]
+	pts := make([][]float64, len(idx))
+	for i, j := range idx {
+		pts[i] = ds.Points[j]
+	}
+	return &dataset.Dataset{Name: ds.Name, Points: pts, Attrs: ds.Attrs}
+}
+
+// fig15 — Real dataset Car (d=3): vary ε, all algorithms.
+func fig15(c Config) (*Table, error) {
+	ds := c.carData()
+	algos, err := c.lowDimAlgos(ds, c.Eps)
+	if err != nil {
+		return nil, err
+	}
+	return c.sweepEps("fig15", "vary eps, Car (synthetic stand-in)", ds, algos)
+}
+
+// fig16 — Real dataset Player (d=20): vary ε, AA vs SinglePass.
+func fig16(c Config) (*Table, error) {
+	ds := c.playerData()
+	algos, err := c.highDimAlgos(ds, c.Eps)
+	if err != nil {
+		return nil, err
+	}
+	return c.sweepEps("fig16", "vary eps, Player (synthetic stand-in)", ds, algos)
+}

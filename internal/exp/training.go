@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"isrl/internal/aa"
+	"isrl/internal/ea"
+)
+
+// fig6a — Vary the training-set size: both RL algorithms should need fewer
+// interactive rounds as more training utility vectors are seen (§V-A
+// "Training"). Sizes scale with the configured TrainEpisodes.
+func fig6a(c Config) (*Table, error) {
+	ds := c.synthetic(c.N, 4)
+	users := c.testUsers(4)
+	grid := []int{0, c.TrainEpisodes / 4, c.TrainEpisodes / 2, c.TrainEpisodes}
+	t := &Table{ID: "fig6a", Title: "vary training size, anti-correlated d=4",
+		Columns: []string{"train_episodes", "algorithm", "rounds"}}
+	for _, episodes := range grid {
+		e, err := c.trainedEA(ds, c.Eps, ea.Config{}, episodes)
+		if err != nil {
+			return nil, err
+		}
+		a, err := c.trainedAA(ds, c.Eps, aa.Config{}, episodes)
+		if err != nil {
+			return nil, err
+		}
+		se, err := Measure(e, ds, c.Eps, users)
+		if err != nil {
+			return nil, err
+		}
+		sa, err := Measure(a, ds, c.Eps, users)
+		if err != nil {
+			return nil, err
+		}
+		c.logf("fig6a train=%d EA=%.1f AA=%.1f", episodes, se.Rounds, sa.Rounds)
+		t.AddRow(episodes, "EA", se.Rounds)
+		t.AddRow(episodes, "AA", sa.Rounds)
+	}
+	return t, nil
+}
+
+// fig6b — Vary the action-space size m_h: AA degrades with a large action
+// space (harder exploration), EA is less sensitive thanks to its richer
+// state (§V-A "Training").
+func fig6b(c Config) (*Table, error) {
+	ds := c.synthetic(c.N, 4)
+	users := c.testUsers(4)
+	grid := []int{3, 5, 8, 12}
+	t := &Table{ID: "fig6b", Title: "vary action-space size m_h, anti-correlated d=4",
+		Columns: []string{"m_h", "algorithm", "rounds"}}
+	for _, mh := range grid {
+		e, err := c.trainedEA(ds, c.Eps, ea.Config{Mh: mh}, c.TrainEpisodes)
+		if err != nil {
+			return nil, err
+		}
+		a, err := c.trainedAA(ds, c.Eps, aa.Config{Mh: mh}, c.TrainEpisodes)
+		if err != nil {
+			return nil, err
+		}
+		se, err := Measure(e, ds, c.Eps, users)
+		if err != nil {
+			return nil, err
+		}
+		sa, err := Measure(a, ds, c.Eps, users)
+		if err != nil {
+			return nil, err
+		}
+		c.logf("fig6b m_h=%d EA=%.1f AA=%.1f", mh, se.Rounds, sa.Rounds)
+		t.AddRow(mh, "EA", se.Rounds)
+		t.AddRow(mh, "AA", sa.Rounds)
+	}
+	return t, nil
+}

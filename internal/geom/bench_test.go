@@ -1,0 +1,90 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPolytope(d, cuts int, seed int64) *Polytope {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewPolytope(d)
+	u := SampleSimplex(rng, d) // keep a witness feasible
+	for k := 0; k < cuts; k++ {
+		w := make([]float64, d)
+		var wu float64
+		for i := range w {
+			w[i] = rng.NormFloat64()
+			wu += w[i] * u[i]
+		}
+		if wu < 0 {
+			for i := range w {
+				w[i] = -w[i]
+			}
+		}
+		p.Add(Halfspace{Normal: w})
+	}
+	return p
+}
+
+func BenchmarkVertices4D(b *testing.B) {
+	p := benchPolytope(4, 10, 1)
+	for i := 0; i < b.N; i++ {
+		p.vertsDirty = true
+		if _, err := p.Vertices(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInnerBall20D(b *testing.B) {
+	p := benchPolytope(20, 15, 2)
+	for i := 0; i < b.N; i++ {
+		if _, err := p.InnerBall(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOuterRect20D(b *testing.B) {
+	p := benchPolytope(20, 15, 3)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.OuterRect(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHitAndRunSample(b *testing.B) {
+	p := benchPolytope(4, 8, 4)
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Sample(rng, 64, SampleOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnclosingBall(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	pts := make([][]float64, 50)
+	for i := range pts {
+		pts[i] = SampleSimplex(rng, 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EnclosingBall(pts, EnclosingBallOptions{})
+	}
+}
+
+func BenchmarkGreedyCover(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([][]float64, 60)
+	for i := range pts {
+		pts[i] = SampleSimplex(rng, 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GreedyCover(pts, 5, 0.1)
+	}
+}

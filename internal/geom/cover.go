@@ -1,0 +1,77 @@
+package geom
+
+import (
+	"isrl/internal/vec"
+)
+
+// GreedyCover selects up to m representative vectors from points using the
+// paper's DBSCAN-inspired greedy maximum-coverage rule (§IV-B, Lemma 2):
+// each point e covers its neighborhood Sₑ = {e' : ‖e'−e‖ ≤ dEps}; the greedy
+// pass repeatedly picks the point covering the most still-uncovered points
+// until m are chosen or everything is covered. The classic greedy bound
+// gives a (1−1/e)-approximation of the NP-hard optimum.
+//
+// The returned slice holds indices into points, in selection order.
+func GreedyCover(points [][]float64, m int, dEps float64) []int {
+	n := len(points)
+	if n == 0 || m <= 0 {
+		return nil
+	}
+	if m > n {
+		m = n
+	}
+	// Neighborhood sets. O(n²d) — n here is the number of polytope vertices,
+	// small by construction.
+	nbr := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if vec.Dist(points[i], points[j]) <= dEps {
+				nbr[i] = append(nbr[i], j)
+			}
+		}
+	}
+	covered := make([]bool, n)
+	chosen := make([]int, 0, m)
+	picked := make([]bool, n)
+	for len(chosen) < m {
+		best, bestGain := -1, 0
+		for i := 0; i < n; i++ {
+			if picked[i] {
+				continue
+			}
+			gain := 0
+			for _, j := range nbr[i] {
+				if !covered[j] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break // everything covered
+		}
+		picked[best] = true
+		chosen = append(chosen, best)
+		for _, j := range nbr[best] {
+			covered[j] = true
+		}
+	}
+	return chosen
+}
+
+// CoverageOf returns how many of points are within dEps of at least one of
+// the points indexed by chosen. Used by tests to check greedy quality.
+func CoverageOf(points [][]float64, chosen []int, dEps float64) int {
+	covered := 0
+	for _, p := range points {
+		for _, ci := range chosen {
+			if vec.Dist(p, points[ci]) <= dEps {
+				covered++
+				break
+			}
+		}
+	}
+	return covered
+}

@@ -1,0 +1,148 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"isrl/internal/vec"
+)
+
+// SampleSimplex draws one utility vector uniformly from the probability
+// simplex using the standard exponential-spacings construction.
+func SampleSimplex(rng *rand.Rand, d int) []float64 {
+	u := make([]float64, d)
+	var s float64
+	for i := range u {
+		u[i] = rng.ExpFloat64()
+		s += u[i]
+	}
+	for i := range u {
+		u[i] /= s
+	}
+	return u
+}
+
+// SampleOptions tunes hit-and-run sampling inside a utility range.
+type SampleOptions struct {
+	BurnIn int // steps discarded before the first sample (default 5·d)
+	Thin   int // steps between retained samples (default d)
+}
+
+// Sample draws n points approximately uniformly from R with hit-and-run,
+// walking inside the affine subspace Σu = 1. The chain starts at the inner
+// ball center (a deep interior point). It fails when R is empty or has no
+// interior.
+//
+// Hit-and-run is the workhorse behind the paper's Lemma-5 sampling step: the
+// number of sample vectors falling inside a terminal polyhedron tracks its
+// volume fraction.
+func (p *Polytope) Sample(rng *rand.Rand, n int, opts SampleOptions) ([][]float64, error) {
+	d := p.Dim
+	ib, err := p.InnerBall()
+	if err != nil {
+		return nil, err
+	}
+	if ib.Radius <= 0 {
+		return nil, fmt.Errorf("geom: sample: polytope has empty interior (radius %g)", ib.Radius)
+	}
+	if opts.BurnIn == 0 {
+		opts.BurnIn = 5 * d
+	}
+	if opts.Thin == 0 {
+		opts.Thin = d
+	}
+	cur := vec.Clone(ib.Center)
+	dir := make([]float64, d)
+	out := make([][]float64, 0, n)
+	steps := opts.BurnIn + n*opts.Thin
+	for s := 0; s < steps; s++ {
+		p.randomZeroSumDir(rng, dir)
+		lo, hi, ok := p.chord(cur, dir)
+		if !ok {
+			// Numerical corner: restart from the interior center.
+			copy(cur, ib.Center)
+			continue
+		}
+		t := lo + rng.Float64()*(hi-lo)
+		vec.AddScaled(cur, cur, t, dir)
+		clampSimplex(cur)
+		if s >= opts.BurnIn && (s-opts.BurnIn)%opts.Thin == opts.Thin-1 {
+			out = append(out, vec.Clone(cur))
+		}
+	}
+	return out, nil
+}
+
+// randomZeroSumDir fills dir with a unit Gaussian direction projected onto
+// the zero-sum hyperplane (tangent space of Σu = 1).
+func (p *Polytope) randomZeroSumDir(rng *rand.Rand, dir []float64) {
+	d := len(dir)
+	for {
+		var mean float64
+		for i := range dir {
+			dir[i] = rng.NormFloat64()
+			mean += dir[i]
+		}
+		mean /= float64(d)
+		for i := range dir {
+			dir[i] -= mean
+		}
+		if vec.Normalize(dir) > 1e-12 {
+			return
+		}
+	}
+}
+
+// chord intersects the line cur + t·dir with R, returning the feasible
+// t-interval. ok is false when the interval is empty or degenerate.
+func (p *Polytope) chord(cur, dir []float64) (lo, hi float64, ok bool) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	clip := func(num, den float64) bool {
+		// Constraint: num + t·den ≥ 0.
+		const tiny = 1e-14
+		if den > tiny {
+			if t := -num / den; t > lo {
+				lo = t
+			}
+		} else if den < -tiny {
+			if t := -num / den; t < hi {
+				hi = t
+			}
+		} else if num < -1e-10 {
+			return false
+		}
+		return true
+	}
+	for i := 0; i < p.Dim; i++ { // uᵢ ≥ 0
+		if !clip(cur[i], dir[i]) {
+			return 0, 0, false
+		}
+	}
+	for _, h := range p.Halfspaces {
+		if !clip(vec.Dot(h.Normal, cur), vec.Dot(h.Normal, dir)) {
+			return 0, 0, false
+		}
+	}
+	if !(lo < hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// clampSimplex repairs tiny numerical drift: negatives are zeroed and the
+// vector is renormalized to sum 1.
+func clampSimplex(u []float64) {
+	var s float64
+	for i := range u {
+		if u[i] < 0 {
+			u[i] = 0
+		}
+		s += u[i]
+	}
+	if s > 0 {
+		for i := range u {
+			u[i] /= s
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package geom
+
+import (
+	"math/rand"
+
+	"isrl/internal/vec"
+)
+
+// EnclosingBallOptions tunes the iterative minimum-enclosing-ball
+// approximation of §IV-B. Zero values select the paper's defaults.
+type EnclosingBallOptions struct {
+	MaxIters  int     // default 200
+	Threshold float64 // stop when the center offset drops below this; default 1e-6
+	Rng       *rand.Rand
+}
+
+// EnclosingBall approximates the smallest sphere containing all points,
+// using the paper's iterative scheme: repeatedly move the center toward the
+// farthest point e₁ by ½(‖c−e₁‖ − ‖c−e₂‖), where e₂ is the second-farthest
+// point. Lemma 3 shows the enclosing radius is non-increasing. The center is
+// initialized at a random point when opts.Rng is set, otherwise at the
+// centroid (deterministic).
+func EnclosingBall(points [][]float64, opts EnclosingBallOptions) Ball {
+	if len(points) == 0 {
+		return Ball{}
+	}
+	d := len(points[0])
+	if opts.MaxIters == 0 {
+		opts.MaxIters = 200
+	}
+	if opts.Threshold == 0 {
+		opts.Threshold = 1e-6
+	}
+	c := make([]float64, d)
+	if opts.Rng != nil {
+		base := points[opts.Rng.Intn(len(points))]
+		copy(c, base)
+	} else {
+		for _, p := range points {
+			vec.Add(c, c, p)
+		}
+		vec.Scale(c, 1/float64(len(points)), c)
+	}
+	if len(points) == 1 {
+		return Ball{Center: c, Radius: 0}
+	}
+	dir := make([]float64, d)
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		// Two farthest points from the current center.
+		i1, i2 := -1, -1
+		var d1, d2 float64
+		for i, p := range points {
+			dist := vec.Dist(c, p)
+			if dist > d1 {
+				d2, i2 = d1, i1
+				d1, i1 = dist, i
+			} else if dist > d2 {
+				d2, i2 = dist, i
+			}
+		}
+		_ = i2
+		offset := (d1 - d2) / 2
+		if offset < opts.Threshold || d1 == 0 {
+			return Ball{Center: c, Radius: d1}
+		}
+		// Move c toward the farthest point by offset.
+		vec.Sub(dir, points[i1], c)
+		vec.Normalize(dir)
+		vec.AddScaled(c, c, offset, dir)
+	}
+	var r float64
+	for _, p := range points {
+		if dist := vec.Dist(c, p); dist > r {
+			r = dist
+		}
+	}
+	return Ball{Center: c, Radius: r}
+}
+
+// Contains reports whether u is inside the ball within tol.
+func (b Ball) Contains(u []float64, tol float64) bool {
+	return vec.Dist(b.Center, u) <= b.Radius+tol
+}

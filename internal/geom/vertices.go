@@ -1,0 +1,154 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"isrl/internal/vec"
+)
+
+// vertexTol is the feasibility slack used when classifying enumerated basic
+// solutions as vertices of R.
+const vertexTol = 1e-8
+
+// MaxVertexBases caps the number of constraint subsets Vertices will try
+// before giving up; it protects against accidental use in high dimension
+// with many halfspaces, where exact polyhedra are not meant to be used
+// (the paper restricts polyhedron-maintaining algorithms to low d).
+const MaxVertexBases = 2_000_000
+
+// Vertices returns the extreme utility vectors of R (the paper's set E).
+//
+// A vertex of R lies on the hyperplane Σu = 1 and on d−1 further linearly
+// independent active constraints drawn from the non-negativity facets
+// {uᵢ = 0} and the learned hyperplanes {wₖ·u = 0}. Vertices enumerates all
+// (d−1)-subsets of that pool, solves each d×d system, and keeps the feasible
+// solutions, deduplicated. The result is cached until the polytope changes.
+func (p *Polytope) Vertices() ([][]float64, error) {
+	if !p.vertsDirty {
+		return p.verts, nil
+	}
+	d := p.Dim
+	// Constraint pool as normals of hyperplanes through the origin.
+	pool := make([][]float64, 0, d+len(p.Halfspaces))
+	for i := 0; i < d; i++ {
+		e := make([]float64, d)
+		e[i] = 1
+		pool = append(pool, e) // facet uᵢ = 0 has normal eᵢ
+	}
+	for _, h := range p.Halfspaces {
+		if vec.Norm(h.Normal) == 0 {
+			continue
+		}
+		pool = append(pool, h.Normal)
+	}
+	if c := binom(len(pool), d-1); c > MaxVertexBases {
+		return nil, fmt.Errorf("geom: vertex enumeration needs %d bases (max %d); reduce halfspaces or dimension", c, MaxVertexBases)
+	}
+
+	A := vec.NewMat(d, d)
+	b := make([]float64, d)
+	b[0] = 1
+	var out [][]float64
+	seen := make(map[string]bool)
+
+	idx := make([]int, d-1)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == d-1 {
+			// System: Σu = 1 plus the chosen active constraints = 0.
+			for j := 0; j < d; j++ {
+				A.Set(0, j, 1)
+			}
+			for r, ci := range idx {
+				copy(A.Row(r+1), pool[ci])
+			}
+			u, ok := vec.SolveLinear(A, b, 1e-10)
+			if !ok {
+				return
+			}
+			if !p.feasibleVertex(u) {
+				return
+			}
+			key := quantKey(u)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, u)
+			}
+			return
+		}
+		for i := start; i <= len(pool)-(d-1-k); i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	if d == 1 {
+		return nil, fmt.Errorf("geom: dimension 1 unsupported")
+	}
+	rec(0, 0)
+	// Canonical order keeps downstream behaviour deterministic.
+	sort.Slice(out, func(i, j int) bool { return lexLess(out[i], out[j]) })
+	p.verts = out
+	p.vertsDirty = false
+	return out, nil
+}
+
+func (p *Polytope) feasibleVertex(u []float64) bool {
+	var s float64
+	for _, ui := range u {
+		if ui < -vertexTol {
+			return false
+		}
+		s += ui
+	}
+	if math.Abs(s-1) > 1e-7 {
+		return false
+	}
+	for _, h := range p.Halfspaces {
+		if vec.Dot(h.Normal, u) < -vertexTol*(1+vec.Norm(h.Normal)) {
+			return false
+		}
+	}
+	return vec.AllFinite(u)
+}
+
+func quantKey(u []float64) string {
+	buf := make([]byte, 0, len(u)*8)
+	for _, ui := range u {
+		q := int64(math.Round(ui * 1e7))
+		if q == 0 {
+			q = 0 // normalize −0
+		}
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(q>>s))
+		}
+	}
+	return string(buf)
+}
+
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 1; i <= k; i++ {
+		c = c * (n - k + i) / i
+		if c > MaxVertexBases {
+			return c
+		}
+	}
+	return c
+}

@@ -1,0 +1,93 @@
+package itree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the optimal interaction tree in Graphviz DOT format —
+// the paper's Figure 1 materialized for a real dataset. Internal nodes are
+// labelled with the utility-parameter interval and the breakpoint the
+// optimal policy asks about; leaves carry the certified tuple index.
+//
+// maxDepth bounds the rendering (the tree itself may be deeper); ≤ 0 means
+// unbounded.
+func (t *Tree) WriteDOT(w io.Writer, maxDepth int) error {
+	var b strings.Builder
+	b.WriteString("digraph itree {\n")
+	b.WriteString("  node [fontname=\"Helvetica\"];\n")
+	id := 0
+	var emit func(l, r, depth int) (int, error)
+	emit = func(l, r, depth int) (int, error) {
+		me := id
+		id++
+		lo, hi := t.bound(l), t.bound(r)
+		if t.terminal(l, r) {
+			pi := t.coverPoint(l, r)
+			fmt.Fprintf(&b, "  n%d [shape=box, style=filled, fillcolor=lightgreen, label=\"t∈[%.3f,%.3f]\\nreturn tuple #%d\"];\n", me, lo, hi, pi)
+			return me, nil
+		}
+		if maxDepth > 0 && depth >= maxDepth {
+			fmt.Fprintf(&b, "  n%d [shape=box, style=dashed, label=\"t∈[%.3f,%.3f]\\n… %d more rounds\"];\n", me, lo, hi, t.solve(l, r))
+			return me, nil
+		}
+		cut := t.bestCut(l, r)
+		if cut < 0 {
+			fmt.Fprintf(&b, "  n%d [shape=box, label=\"t∈[%.3f,%.3f]\\nunresolvable\"];\n", me, lo, hi)
+			return me, nil
+		}
+		fmt.Fprintf(&b, "  n%d [shape=ellipse, label=\"t∈[%.3f,%.3f]\\nask t ≤ %.3f ?\"];\n", me, lo, hi, t.cuts[cut-1])
+		left, err := emit(l, cut, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		right, err := emit(cut, r, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"yes\"];\n", me, left)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"no\"];\n", me, right)
+		return me, nil
+	}
+	if _, err := emit(0, len(t.cuts)+1, 0); err != nil {
+		return err
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// coverPoint returns the index of a tuple that ε-covers the interval
+// between boundaries l and r (the interval must be terminal).
+func (t *Tree) coverPoint(l, r int) int {
+	params := []float64{t.bound(l), t.bound(r)}
+	for b := l; b < r; b++ {
+		if b >= 1 {
+			params = append(params, t.cuts[b-1])
+		}
+	}
+	best := make([]float64, len(params))
+	for i, tv := range params {
+		m := -1.0
+		for _, p := range t.ds.Points {
+			if s := scoreAt(p, tv); s > m {
+				m = s
+			}
+		}
+		best[i] = m
+	}
+	for pi, p := range t.ds.Points {
+		ok := true
+		for i, tv := range params {
+			if scoreAt(p, tv) < (1-t.eps)*best[i]-1e-12 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return pi
+		}
+	}
+	return -1
+}

@@ -1,0 +1,247 @@
+// Package itree materializes the paper's interaction tree (§IV-A, Figure 1)
+// for two-dimensional datasets, where the utility space collapses to a line
+// segment and the optimal questioning policy can be computed *exactly*.
+//
+// With d = 2 a utility vector is u = (t, 1−t), t ∈ [0,1]. Every pair of
+// tuples ⟨pᵢ,pⱼ⟩ whose hyperplane crosses the segment induces a breakpoint
+// t*: asking the pair reveals whether the user's t lies left or right of t*.
+// An interaction policy is therefore a binary search tree over breakpoints,
+// and the minimum worst-case number of questions is the minimum depth of a
+// tree whose leaves are ε-terminal intervals — computable by interval
+// dynamic programming, exactly the structure Figure 1 sketches.
+//
+// The resulting OptimalRounds is a ground-truth lower bound used by the
+// ext-opt experiment to measure how far EA, AA and the baselines are from
+// the best possible interaction.
+package itree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"isrl/internal/dataset"
+)
+
+// Tree is the solved interaction problem for one dataset and threshold.
+type Tree struct {
+	ds   *dataset.Dataset
+	eps  float64
+	cuts []float64 // sorted breakpoints in (0,1)
+
+	// memo[l*(K+2)+r] caches optimal rounds for the interval spanning
+	// atoms l..r (boundaries cuts[l-1] and cuts[r], with sentinels 0 and 1);
+	// -1 = unknown.
+	memo []int
+	term []int8 // 1 terminal, 0 not, -1 unknown
+}
+
+// scoreAt returns tuple p's utility at parameter t (u = (t, 1−t)).
+func scoreAt(p []float64, t float64) float64 {
+	return t*p[0] + (1-t)*p[1]
+}
+
+// New builds the solver. The dataset must be 2-dimensional (and should be a
+// skyline for meaningful sizes). eps is the regret-ratio threshold.
+func New(ds *dataset.Dataset, eps float64) (*Tree, error) {
+	if ds.Dim() != 2 {
+		return nil, fmt.Errorf("itree: need d=2, got d=%d", ds.Dim())
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("itree: empty dataset")
+	}
+	t := &Tree{ds: ds, eps: eps}
+	t.cuts = breakpoints(ds)
+	k := len(t.cuts)
+	t.memo = make([]int, (k+2)*(k+2))
+	t.term = make([]int8, (k+2)*(k+2))
+	for i := range t.memo {
+		t.memo[i] = -1
+		t.term[i] = -1
+	}
+	return t, nil
+}
+
+// breakpoints collects the distinct pairwise crossing parameters in (0,1).
+func breakpoints(ds *dataset.Dataset) []float64 {
+	var ts []float64
+	n := ds.Len()
+	for i := 0; i < n; i++ {
+		pi := ds.Points[i]
+		ai := pi[0] - pi[1]
+		for j := i + 1; j < n; j++ {
+			pj := ds.Points[j]
+			aj := pj[0] - pj[1]
+			den := ai - aj
+			if math.Abs(den) < 1e-15 {
+				continue // parallel score lines: never cross
+			}
+			t := (pj[1] - pi[1]) / den
+			if t > 1e-12 && t < 1-1e-12 {
+				ts = append(ts, t)
+			}
+		}
+	}
+	sort.Float64s(ts)
+	// Deduplicate within tolerance.
+	out := ts[:0]
+	for _, v := range ts {
+		if len(out) == 0 || v-out[len(out)-1] > 1e-12 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// NumBreakpoints reports the number of distinct askable thresholds.
+func (t *Tree) NumBreakpoints() int { return len(t.cuts) }
+
+// bound returns the parameter value of boundary index b ∈ [0, K+1]:
+// 0 → 0.0, K+1 → 1.0, otherwise cuts[b-1].
+func (t *Tree) bound(b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	if b == len(t.cuts)+1 {
+		return 1
+	}
+	return t.cuts[b-1]
+}
+
+// terminal reports whether the interval between boundaries l and r is
+// ε-terminal: some tuple's regret ratio is ≤ ε for every t in the interval.
+// Because the upper envelope max_q s_q(t) only changes slope at breakpoints,
+// it suffices to check each candidate tuple at every boundary and breakpoint
+// inside the interval.
+func (t *Tree) terminal(l, r int) bool {
+	k := len(t.cuts) + 2
+	if v := t.term[l*k+r]; v >= 0 {
+		return v == 1
+	}
+	// Sample parameters: the interval's endpoints plus interior breakpoints.
+	params := []float64{t.bound(l), t.bound(r)}
+	for b := l; b < r; b++ {
+		if b >= 1 {
+			params = append(params, t.cuts[b-1])
+		}
+	}
+	ok := t.hasCover(params)
+	if ok {
+		t.term[l*k+r] = 1
+	} else {
+		t.term[l*k+r] = 0
+	}
+	return ok
+}
+
+// hasCover reports whether one tuple ε-covers all sampled parameters.
+func (t *Tree) hasCover(params []float64) bool {
+	// Upper envelope values at the sampled parameters.
+	best := make([]float64, len(params))
+	for i, tv := range params {
+		m := math.Inf(-1)
+		for _, p := range t.ds.Points {
+			if s := scoreAt(p, tv); s > m {
+				m = s
+			}
+		}
+		best[i] = m
+	}
+	for _, p := range t.ds.Points {
+		ok := true
+		for i, tv := range params {
+			if scoreAt(p, tv) < (1-t.eps)*best[i]-1e-12 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// OptimalRounds returns the minimum worst-case number of questions needed
+// to reach an ε-terminal interval from the full utility space, over all
+// adaptive policies that ask real tuple pairs — the depth of the best
+// possible interaction tree.
+func (t *Tree) OptimalRounds() int {
+	return t.solve(0, len(t.cuts)+1)
+}
+
+// OptimalRoundsFor returns the number of questions the optimal policy asks
+// for a specific user parameter t*, following the tree from the root. It is
+// ≤ OptimalRounds (the worst case over users).
+func (t *Tree) OptimalRoundsFor(tstar float64) int {
+	l, r := 0, len(t.cuts)+1
+	rounds := 0
+	for !t.terminal(l, r) {
+		cut := t.bestCut(l, r)
+		if cut < 0 {
+			break
+		}
+		rounds++
+		if tstar <= t.cuts[cut-1] {
+			r = cut
+		} else {
+			l = cut
+		}
+	}
+	return rounds
+}
+
+// solve computes the DP value for the interval between boundaries l and r.
+func (t *Tree) solve(l, r int) int {
+	k := len(t.cuts) + 2
+	if v := t.memo[l*k+r]; v >= 0 {
+		return v
+	}
+	var out int
+	if t.terminal(l, r) {
+		out = 0
+	} else {
+		best := math.MaxInt32
+		for cut := l + 1; cut < r; cut++ {
+			left := t.solve(l, cut)
+			right := t.solve(cut, r)
+			worst := left
+			if right > worst {
+				worst = right
+			}
+			if worst+1 < best {
+				best = worst + 1
+			}
+			if best == 1 {
+				break // cannot do better than one question
+			}
+		}
+		if best == math.MaxInt32 {
+			// No cut available but not terminal: a degenerate instance
+			// (e.g. ε = 0 with co-linear scores). Report the interval as
+			// unresolvable with 0 further useful questions.
+			best = 0
+		}
+		out = best
+	}
+	t.memo[l*k+r] = out
+	return out
+}
+
+// bestCut returns the boundary index of the cut minimizing worst-case depth
+// for the interval (used to follow the optimal policy), or −1 when none.
+func (t *Tree) bestCut(l, r int) int {
+	bestCut, best := -1, math.MaxInt32
+	for cut := l + 1; cut < r; cut++ {
+		left := t.solve(l, cut)
+		right := t.solve(cut, r)
+		worst := left
+		if right > worst {
+			worst = right
+		}
+		if worst < best {
+			best, bestCut = worst, cut
+		}
+	}
+	return bestCut
+}

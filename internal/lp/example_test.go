@@ -1,0 +1,27 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"isrl/internal/lp"
+)
+
+// ExampleSolve maximizes 3x+5y over a classic textbook feasible region.
+func ExampleSolve() {
+	p := &lp.Problem{NumVars: 2, Maximize: []float64{3, 5}}
+	p.AddLE([]float64{1, 0}, 4)  // x ≤ 4
+	p.AddLE([]float64{0, 2}, 12) // 2y ≤ 12
+	p.AddLE([]float64{3, 2}, 18) // 3x + 2y ≤ 18
+	r := lp.Solve(p)
+	fmt.Printf("%v objective=%.0f x=%.0f y=%.0f\n", r.Status, r.Objective, r.X[0], r.X[1])
+	// Output: optimal objective=36 x=2 y=6
+}
+
+// ExampleSolve_infeasible shows the status for contradictory constraints.
+func ExampleSolve_infeasible() {
+	p := &lp.Problem{NumVars: 1, Maximize: []float64{1}}
+	p.AddLE([]float64{1}, 1)
+	p.AddGE([]float64{1}, 2)
+	fmt.Println(lp.Solve(p).Status)
+	// Output: infeasible
+}

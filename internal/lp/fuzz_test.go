@@ -1,0 +1,55 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzSolve drives the simplex with randomized problems: whatever the
+// shape, Solve must terminate without panicking, and when it reports
+// Optimal the solution must actually be feasible.
+func FuzzSolve(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(4))
+	f.Add(int64(42), uint8(1), uint8(0))
+	f.Add(int64(7), uint8(6), uint8(12))
+	f.Fuzz(func(t *testing.T, seed int64, nv, nc uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nv)%8
+		m := int(nc) % 12
+		p := &Problem{NumVars: n, Maximize: make([]float64, n), Free: make([]bool, n)}
+		for i := range p.Maximize {
+			p.Maximize[i] = rng.NormFloat64()
+			p.Free[i] = rng.Intn(4) == 0
+		}
+		for k := 0; k < m; k++ {
+			row := make([]float64, n)
+			for i := range row {
+				row[i] = rng.NormFloat64()
+			}
+			rhs := rng.NormFloat64() * 3
+			switch rng.Intn(3) {
+			case 0:
+				p.AddLE(row, rhs)
+			case 1:
+				p.AddGE(row, rhs)
+			default:
+				p.AddEQ(row, rhs)
+			}
+		}
+		r := Solve(p)
+		switch r.Status {
+		case Optimal:
+			if !feasible(p, r.X, 1e-5) {
+				t.Fatalf("optimal solution infeasible: %v", r.X)
+			}
+			if math.IsNaN(r.Objective) || math.IsInf(r.Objective, 0) {
+				t.Fatalf("non-finite objective %v", r.Objective)
+			}
+		case Infeasible, Unbounded, IterLimit:
+			// Legitimate outcomes for random problems.
+		default:
+			t.Fatalf("unknown status %v", r.Status)
+		}
+	})
+}

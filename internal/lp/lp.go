@@ -1,0 +1,405 @@
+// Package lp implements a dense two-phase simplex solver for small linear
+// programs in general form:
+//
+//	maximize   c·x
+//	subject to Aᵢ·x {≤,=,≥} bᵢ   for each constraint i
+//	           xⱼ ≥ 0, or xⱼ free
+//
+// The solver targets the problem sizes that appear in interactive regret
+// queries — a handful to a few hundred constraints over 2–30 variables — and
+// favours robustness over asymptotics: it runs Dantzig's rule with a
+// degeneracy watchdog that switches to Bland's rule, which guarantees
+// termination.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the relation of a constraint row to its right-hand side.
+type Sense int8
+
+// Constraint senses.
+const (
+	LE Sense = iota // Aᵢ·x ≤ bᵢ
+	EQ              // Aᵢ·x = bᵢ
+	GE              // Aᵢ·x ≥ bᵢ
+)
+
+// String returns the comparison operator of the sense.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case EQ:
+		return "=="
+	case GE:
+		return ">="
+	}
+	return fmt.Sprintf("Sense(%d)", int8(s))
+}
+
+// Constraint is a single linear constraint. Coeffs must have the problem's
+// NumVars entries.
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a linear program in general form. The zero value is unusable;
+// populate NumVars, Maximize, and Constraints. Variables are non-negative by
+// default; set Free[j] to lift the bound on variable j (Free may be nil or
+// shorter than NumVars, missing entries default to false).
+type Problem struct {
+	NumVars     int
+	Maximize    []float64
+	Constraints []Constraint
+	Free        []bool
+}
+
+// AddLE appends coeffs·x ≤ rhs.
+func (p *Problem) AddLE(coeffs []float64, rhs float64) {
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Sense: LE, RHS: rhs})
+}
+
+// AddGE appends coeffs·x ≥ rhs.
+func (p *Problem) AddGE(coeffs []float64, rhs float64) {
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Sense: GE, RHS: rhs})
+}
+
+// AddEQ appends coeffs·x = rhs.
+func (p *Problem) AddEQ(coeffs []float64, rhs float64) {
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Sense: EQ, RHS: rhs})
+}
+
+// Status classifies the outcome of Solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit // iteration cap hit; numerical trouble
+)
+
+// String names the solve outcome.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int8(s))
+}
+
+// Result is the outcome of Solve. X and Objective are meaningful only when
+// Status is Optimal.
+type Result struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+const (
+	eps     = 1e-9
+	feasTol = 1e-7
+)
+
+// Solve solves the linear program. It never modifies p.
+func Solve(p *Problem) Result {
+	n := p.NumVars
+	if len(p.Maximize) != n {
+		panic(fmt.Sprintf("lp: objective has %d coefficients, want %d", len(p.Maximize), n))
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			panic(fmt.Sprintf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coeffs), n))
+		}
+	}
+
+	// --- Standard-form conversion -------------------------------------
+	// Column layout: for each original variable j, one column (x⁺) and, when
+	// the variable is free, a paired negative column (x⁻). Then one slack or
+	// surplus column per inequality, then one artificial per row that needs
+	// one (GE and EQ rows, and LE rows whose RHS went negative).
+	free := func(j int) bool { return j < len(p.Free) && p.Free[j] }
+
+	posCol := make([]int, n) // column of x⁺ for var j
+	negCol := make([]int, n) // column of x⁻, or -1
+	cols := 0
+	for j := 0; j < n; j++ {
+		posCol[j] = cols
+		cols++
+		if free(j) {
+			negCol[j] = cols
+			cols++
+		} else {
+			negCol[j] = -1
+		}
+	}
+	m := len(p.Constraints)
+	// Row-normalized copies with non-negative RHS.
+	rows := make([][]float64, m)
+	rhs := make([]float64, m)
+	senses := make([]Sense, m)
+	for i, c := range p.Constraints {
+		r := make([]float64, cols)
+		for j := 0; j < n; j++ {
+			r[posCol[j]] = c.Coeffs[j]
+			if negCol[j] >= 0 {
+				r[negCol[j]] = -c.Coeffs[j]
+			}
+		}
+		b, s := c.RHS, c.Sense
+		if b < 0 {
+			for k := range r {
+				r[k] = -r[k]
+			}
+			b = -b
+			switch s {
+			case LE:
+				s = GE
+			case GE:
+				s = LE
+			}
+		}
+		rows[i], rhs[i], senses[i] = r, b, s
+	}
+	slackCol := make([]int, m)
+	for i := range slackCol {
+		slackCol[i] = -1
+	}
+	for i, s := range senses {
+		if s == LE || s == GE {
+			slackCol[i] = cols
+			cols++
+		}
+	}
+	artCol := make([]int, m)
+	numArt := 0
+	for i, s := range senses {
+		if s == LE {
+			artCol[i] = -1
+			continue
+		}
+		artCol[i] = cols
+		cols++
+		numArt++
+	}
+
+	// Tableau: m rows × (cols+1); last column is RHS. basis[i] is the column
+	// basic in row i.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		row := make([]float64, cols+1)
+		copy(row, rows[i])
+		row[cols] = rhs[i]
+		switch senses[i] {
+		case LE:
+			row[slackCol[i]] = 1
+			basis[i] = slackCol[i]
+		case GE:
+			row[slackCol[i]] = -1
+			row[artCol[i]] = 1
+			basis[i] = artCol[i]
+		case EQ:
+			row[artCol[i]] = 1
+			basis[i] = artCol[i]
+		}
+		t[i] = row
+	}
+
+	tab := &tableau{t: t, basis: basis, cols: cols}
+
+	// --- Phase 1: drive artificials out -------------------------------
+	if numArt > 0 {
+		// Objective: minimize Σ artificials == maximize −Σ artificials.
+		obj := make([]float64, cols)
+		for i := range artCol {
+			if artCol[i] >= 0 {
+				obj[artCol[i]] = -1
+			}
+		}
+		z, st := tab.run(obj, nil)
+		if st != Optimal {
+			return Result{Status: IterLimit}
+		}
+		if z < -feasTol {
+			return Result{Status: Infeasible}
+		}
+		// Pivot any lingering (degenerate, zero-valued) artificials out of
+		// the basis, then forbid their columns.
+		banned := make([]bool, cols)
+		for i := range artCol {
+			if artCol[i] >= 0 {
+				banned[artCol[i]] = true
+			}
+		}
+		for i := 0; i < m; i++ {
+			if !banned[tab.basis[i]] {
+				continue
+			}
+			// If every legal column is zero in this row the constraint is
+			// redundant and the artificial stays basic at value 0, which is
+			// harmless; otherwise pivot it out.
+			for j := 0; j < cols; j++ {
+				if banned[j] {
+					continue
+				}
+				if math.Abs(tab.t[i][j]) > eps {
+					tab.pivot(i, j)
+					break
+				}
+			}
+		}
+		tab.banned = banned
+	}
+
+	// --- Phase 2: original objective -----------------------------------
+	obj := make([]float64, cols)
+	for j := 0; j < n; j++ {
+		obj[posCol[j]] = p.Maximize[j]
+		if negCol[j] >= 0 {
+			obj[negCol[j]] = -p.Maximize[j]
+		}
+	}
+	z, st := tab.run(obj, tab.banned)
+	if st != Optimal {
+		return Result{Status: st}
+	}
+
+	// Recover x.
+	xs := make([]float64, cols)
+	for i, b := range tab.basis {
+		xs[b] = tab.t[i][cols]
+	}
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = xs[posCol[j]]
+		if negCol[j] >= 0 {
+			x[j] -= xs[negCol[j]]
+		}
+	}
+	return Result{Status: Optimal, X: x, Objective: z}
+}
+
+// tableau is the dense simplex working state shared by both phases.
+type tableau struct {
+	t      [][]float64 // m × (cols+1)
+	basis  []int
+	cols   int
+	banned []bool // columns barred from entering (dead artificials)
+}
+
+// run maximizes obj over the current tableau, returning the objective value.
+// banned columns never enter the basis.
+func (tb *tableau) run(obj []float64, banned []bool) (float64, Status) {
+	m, cols := len(tb.t), tb.cols
+	// Reduced-cost row: start from obj, eliminate basic columns.
+	red := make([]float64, cols+1)
+	copy(red, obj)
+	for i, b := range tb.basis {
+		cb := obj[b]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= cols; j++ {
+			red[j] -= cb * tb.t[i][j]
+		}
+	}
+	maxIter := 200 * (m + cols + 10)
+	blandAfter := maxIter / 2
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering column: most positive reduced cost (Dantzig), switching
+		// to Bland's smallest-index rule once degeneracy is suspected.
+		enter := -1
+		if iter < blandAfter {
+			best := eps
+			for j := 0; j < cols; j++ {
+				if banned != nil && banned[j] {
+					continue
+				}
+				if red[j] > best {
+					best, enter = red[j], j
+				}
+			}
+		} else {
+			for j := 0; j < cols; j++ {
+				if banned != nil && banned[j] {
+					continue
+				}
+				if red[j] > eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return -red[cols], Optimal // optimal; objective is −red[rhs]
+		}
+		// Ratio test. Bland mode breaks ties on the smallest basis index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tb.t[i][enter]
+			if a <= eps {
+				continue
+			}
+			ratio := tb.t[i][cols] / a
+			if ratio < bestRatio-eps ||
+				(iter >= blandAfter && ratio < bestRatio+eps && (leave < 0 || tb.basis[i] < tb.basis[leave])) {
+				bestRatio, leave = ratio, i
+			}
+		}
+		if leave < 0 {
+			return 0, Unbounded
+		}
+		tb.pivot(leave, enter)
+		// Update reduced costs.
+		f := red[enter]
+		if f != 0 {
+			prow := tb.t[leave]
+			for j := 0; j <= cols; j++ {
+				red[j] -= f * prow[j]
+			}
+			red[enter] = 0
+		}
+	}
+	return 0, IterLimit
+}
+
+// pivot makes column enter basic in row leave.
+func (tb *tableau) pivot(leave, enter int) {
+	m, cols := len(tb.t), tb.cols
+	prow := tb.t[leave]
+	p := prow[enter]
+	inv := 1 / p
+	for j := 0; j <= cols; j++ {
+		prow[j] *= inv
+	}
+	prow[enter] = 1 // kill rounding residue
+	for i := 0; i < m; i++ {
+		if i == leave {
+			continue
+		}
+		f := tb.t[i][enter]
+		if f == 0 {
+			continue
+		}
+		row := tb.t[i]
+		for j := 0; j <= cols; j++ {
+			row[j] -= f * prow[j]
+		}
+		row[enter] = 0
+	}
+	tb.basis[leave] = enter
+}

@@ -1,0 +1,309 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) Result {
+	t.Helper()
+	r := Solve(p)
+	if r.Status != Optimal {
+		t.Fatalf("Solve status = %v, want optimal", r.Status)
+	}
+	return r
+}
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", what, got, want, tol)
+	}
+}
+
+// max x+y s.t. x ≤ 2, y ≤ 3 → 5 at (2,3).
+func TestBox(t *testing.T) {
+	p := &Problem{NumVars: 2, Maximize: []float64{1, 1}}
+	p.AddLE([]float64{1, 0}, 2)
+	p.AddLE([]float64{0, 1}, 3)
+	r := solveOK(t, p)
+	almost(t, r.Objective, 5, 1e-9, "objective")
+	almost(t, r.X[0], 2, 1e-9, "x")
+	almost(t, r.X[1], 3, 1e-9, "y")
+}
+
+// Classic: max 3x+5y s.t. x≤4, 2y≤12, 3x+2y≤18 → 36 at (2,6).
+func TestTextbook(t *testing.T) {
+	p := &Problem{NumVars: 2, Maximize: []float64{3, 5}}
+	p.AddLE([]float64{1, 0}, 4)
+	p.AddLE([]float64{0, 2}, 12)
+	p.AddLE([]float64{3, 2}, 18)
+	r := solveOK(t, p)
+	almost(t, r.Objective, 36, 1e-8, "objective")
+	almost(t, r.X[0], 2, 1e-8, "x")
+	almost(t, r.X[1], 6, 1e-8, "y")
+}
+
+// Equality constraint: max u1 over the probability simplex → 1 at e1.
+func TestSimplexDomain(t *testing.T) {
+	for d := 2; d <= 8; d++ {
+		p := &Problem{NumVars: d, Maximize: make([]float64, d)}
+		p.Maximize[0] = 1
+		ones := make([]float64, d)
+		for i := range ones {
+			ones[i] = 1
+		}
+		p.AddEQ(ones, 1)
+		r := solveOK(t, p)
+		almost(t, r.Objective, 1, 1e-8, "objective")
+		almost(t, r.X[0], 1, 1e-8, "u1")
+	}
+}
+
+// GE constraints and a minimization phrased as max of the negation:
+// min x+2y s.t. x+y ≥ 3, x ≥ 1 → 3 at (3,0).
+func TestGEMinimization(t *testing.T) {
+	p := &Problem{NumVars: 2, Maximize: []float64{-1, -2}}
+	p.AddGE([]float64{1, 1}, 3)
+	p.AddGE([]float64{1, 0}, 1)
+	r := solveOK(t, p)
+	almost(t, r.Objective, -3, 1e-8, "objective")
+	almost(t, r.X[0], 3, 1e-8, "x")
+	almost(t, r.X[1], 0, 1e-8, "y")
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{NumVars: 1, Maximize: []float64{1}}
+	p.AddLE([]float64{1}, 1)
+	p.AddGE([]float64{1}, 2)
+	if r := Solve(p); r.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{NumVars: 2, Maximize: []float64{1, 0}}
+	p.AddGE([]float64{1, 0}, 1)
+	if r := Solve(p); r.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", r.Status)
+	}
+}
+
+// Free variables: max -|style| via y free: max y s.t. y ≤ -2 needs free y.
+func TestFreeVariable(t *testing.T) {
+	p := &Problem{NumVars: 1, Maximize: []float64{1}, Free: []bool{true}}
+	p.AddLE([]float64{1}, -2)
+	r := solveOK(t, p)
+	almost(t, r.Objective, -2, 1e-8, "objective")
+	almost(t, r.X[0], -2, 1e-8, "y")
+}
+
+// Negative RHS handling on LE rows (row flips to GE internally).
+func TestNegativeRHS(t *testing.T) {
+	// max -x s.t. -x ≤ -3  (i.e. x ≥ 3) → objective -3.
+	p := &Problem{NumVars: 1, Maximize: []float64{-1}}
+	p.AddLE([]float64{-1}, -3)
+	r := solveOK(t, p)
+	almost(t, r.Objective, -3, 1e-8, "objective")
+}
+
+// Degenerate problem (multiple constraints active at the optimum).
+func TestDegenerate(t *testing.T) {
+	p := &Problem{NumVars: 2, Maximize: []float64{1, 1}}
+	p.AddLE([]float64{1, 0}, 1)
+	p.AddLE([]float64{0, 1}, 1)
+	p.AddLE([]float64{1, 1}, 2)
+	p.AddLE([]float64{2, 1}, 3)
+	r := solveOK(t, p)
+	almost(t, r.Objective, 2, 1e-8, "objective")
+}
+
+// Redundant equality rows must not report infeasible.
+func TestRedundantEquality(t *testing.T) {
+	p := &Problem{NumVars: 2, Maximize: []float64{1, 0}}
+	p.AddEQ([]float64{1, 1}, 1)
+	p.AddEQ([]float64{2, 2}, 2) // same plane
+	r := solveOK(t, p)
+	almost(t, r.Objective, 1, 1e-8, "objective")
+}
+
+// Chebyshev center of the unit square: max r s.t. r ≤ x, r ≤ 1-x, r ≤ y,
+// r ≤ 1-y → r=1/2 at the center.
+func TestChebyshevSquare(t *testing.T) {
+	// vars: x, y, r
+	p := &Problem{NumVars: 3, Maximize: []float64{0, 0, 1}}
+	p.AddLE([]float64{-1, 0, 1}, 0) // r ≤ x
+	p.AddLE([]float64{1, 0, 1}, 1)  // x + r ≤ 1
+	p.AddLE([]float64{0, -1, 1}, 0) // r ≤ y
+	p.AddLE([]float64{0, 1, 1}, 1)  // y + r ≤ 1
+	r := solveOK(t, p)
+	almost(t, r.Objective, 0.5, 1e-8, "radius")
+	almost(t, r.X[0], 0.5, 1e-8, "cx")
+	almost(t, r.X[1], 0.5, 1e-8, "cy")
+}
+
+// feasible reports whether x satisfies all constraints of p within tol.
+func feasible(p *Problem, x []float64, tol float64) bool {
+	for j := 0; j < p.NumVars; j++ {
+		if !(j < len(p.Free) && p.Free[j]) && x[j] < -tol {
+			return false
+		}
+	}
+	for _, c := range p.Constraints {
+		var s float64
+		for j, cf := range c.Coeffs {
+			s += cf * x[j]
+		}
+		switch c.Sense {
+		case LE:
+			if s > c.RHS+tol {
+				return false
+			}
+		case GE:
+			if s < c.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(s-c.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property test: on random LPs over the probability simplex with random
+// halfspace cuts through a known interior point, the solution is feasible
+// and at least as good as the interior point.
+func TestRandomSimplexCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		d := 2 + rng.Intn(6)
+		// Interior point: random from simplex interior.
+		u := make([]float64, d)
+		var s float64
+		for i := range u {
+			u[i] = 0.05 + rng.Float64()
+			s += u[i]
+		}
+		for i := range u {
+			u[i] /= s
+		}
+		p := &Problem{NumVars: d, Maximize: make([]float64, d)}
+		for i := range p.Maximize {
+			p.Maximize[i] = rng.NormFloat64()
+		}
+		ones := make([]float64, d)
+		for i := range ones {
+			ones[i] = 1
+		}
+		p.AddEQ(ones, 1)
+		// Random halfspaces through random hyperplanes kept feasible at u.
+		for k := 0; k < rng.Intn(8); k++ {
+			w := make([]float64, d)
+			for i := range w {
+				w[i] = rng.NormFloat64()
+			}
+			var wu float64
+			for i := range w {
+				wu += w[i] * u[i]
+			}
+			if wu >= 0 {
+				p.AddGE(w, 0)
+			} else {
+				p.AddLE(w, 0)
+			}
+		}
+		r := Solve(p)
+		if r.Status != Optimal {
+			t.Fatalf("trial %d: status %v (u=%v)", trial, r.Status, u)
+		}
+		if !feasible(p, r.X, 1e-6) {
+			t.Fatalf("trial %d: solution %v violates constraints", trial, r.X)
+		}
+		var objAtU float64
+		for i := range u {
+			objAtU += p.Maximize[i] * u[i]
+		}
+		if r.Objective < objAtU-1e-6 {
+			t.Fatalf("trial %d: objective %v below feasible point's %v", trial, r.Objective, objAtU)
+		}
+	}
+}
+
+// Property test: random box LPs have the analytic corner optimum.
+func TestRandomBoxes(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + rng.Intn(6)
+		p := &Problem{NumVars: d, Maximize: make([]float64, d)}
+		ub := make([]float64, d)
+		want := 0.0
+		for j := 0; j < d; j++ {
+			p.Maximize[j] = rng.NormFloat64()
+			ub[j] = rng.Float64() * 5
+			row := make([]float64, d)
+			row[j] = 1
+			p.AddLE(row, ub[j])
+			if p.Maximize[j] > 0 {
+				want += p.Maximize[j] * ub[j]
+			}
+		}
+		r := solveOK(t, p)
+		almost(t, r.Objective, want, 1e-6*(1+math.Abs(want)), "box objective")
+	}
+}
+
+func BenchmarkSolveSimplexCut(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := 10
+	p := &Problem{NumVars: d, Maximize: make([]float64, d)}
+	for i := range p.Maximize {
+		p.Maximize[i] = rng.NormFloat64()
+	}
+	ones := make([]float64, d)
+	for i := range ones {
+		ones[i] = 1
+	}
+	p.AddEQ(ones, 1)
+	for k := 0; k < 20; k++ {
+		w := make([]float64, d)
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		w[0] = math.Abs(w[0]) // keep e1 ~feasible-ish; feasibility not needed for the bench
+		p.AddGE(w, -1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(p)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if LE.String() != "<=" || EQ.String() != "==" || GE.String() != ">=" {
+		t.Error("sense strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || IterLimit.String() != "iteration-limit" {
+		t.Error("status strings wrong")
+	}
+	if Sense(9).String() == "" || Status(9).String() == "" {
+		t.Error("unknown values must still print")
+	}
+}
+
+// An LP whose only feasible point is a single vertex (fully determined).
+func TestPointFeasibleRegion(t *testing.T) {
+	p := &Problem{NumVars: 2, Maximize: []float64{3, -2}}
+	p.AddEQ([]float64{1, 0}, 0.25)
+	p.AddEQ([]float64{0, 1}, 0.75)
+	r := Solve(p)
+	if r.Status != Optimal {
+		t.Fatalf("status %v", r.Status)
+	}
+	almost(t, r.X[0], 0.25, 1e-9, "x")
+	almost(t, r.X[1], 0.75, 1e-9, "y")
+	almost(t, r.Objective, 3*0.25-2*0.75, 1e-9, "objective")
+}

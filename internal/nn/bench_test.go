@@ -1,0 +1,54 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The paper's network shape: (state ⊕ action) → 64 SELU → 1.
+func paperNet(in int) *Network {
+	return NewMLP([]int{in, 64, 1}, SELU, rand.New(rand.NewSource(1)))
+}
+
+func BenchmarkForwardPaperShape(b *testing.B) {
+	net := paperNet(29) // EA at d=4: state 21 ⊕ action 8
+	x := make([]float64, 29)
+	for i := range x {
+		x[i] = 0.1 * float64(i%7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward1(x)
+	}
+}
+
+func BenchmarkTrainStepPaperShape(b *testing.B) {
+	net := paperNet(29)
+	opt := NewSGD(0.003, 0)
+	x := make([]float64, 29)
+	for i := range x {
+		x[i] = 0.05 * float64(i%11)
+	}
+	target := []float64{1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrad()
+		_, grad := MSE(net.Forward(x), target, nil)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	net := paperNet(61) // AA at d=20
+	opt := NewAdam(0.001)
+	x := make([]float64, 61)
+	target := []float64{0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrad()
+		_, grad := Huber(net.Forward(x), target, nil, 1)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+}

@@ -1,0 +1,29 @@
+package nn_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"isrl/internal/nn"
+)
+
+// ExampleNetwork trains the paper's Q-network shape (one hidden SELU layer)
+// to fit a simple function and reports whether the loss collapsed.
+func ExampleNetwork() {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewMLP([]int{2, 64, 1}, nn.SELU, rng)
+	opt := nn.NewAdam(0.01)
+
+	target := func(x []float64) float64 { return 0.7*x[0] - 0.2*x[1] }
+	var loss float64
+	for step := 0; step < 500; step++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		net.ZeroGrad()
+		var grad []float64
+		loss, grad = nn.MSE(net.Forward(x), []float64{target(x)}, nil)
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	fmt.Println(loss < 1e-3)
+	// Output: true
+}

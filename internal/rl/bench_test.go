@@ -1,0 +1,73 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchBatch(rng *rand.Rand, stateDim, actionDim, n int) []Transition {
+	randVec := func(k int) []float64 {
+		v := make([]float64, k)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		return v
+	}
+	batch := make([]Transition, n)
+	for i := range batch {
+		tr := Transition{
+			State:  randVec(stateDim),
+			Action: randVec(actionDim),
+			Reward: 0,
+			Next:   randVec(stateDim),
+		}
+		for a := 0; a < 5; a++ { // the paper's m_h = 5 candidate actions
+			tr.NextActions = append(tr.NextActions, randVec(actionDim))
+		}
+		if i%7 == 0 {
+			tr.Terminal = true
+			tr.Reward = 1
+		}
+		batch[i] = tr
+	}
+	return batch
+}
+
+func BenchmarkTrainBatch64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewAgent(21, 8, Config{}, rng) // EA shape at d=4
+	batch := benchBatch(rng, 21, 8, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.TrainBatch(batch)
+	}
+}
+
+func BenchmarkBestOf5(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewAgent(21, 8, Config{}, rng)
+	state := make([]float64, 21)
+	actions := make([][]float64, 5)
+	for i := range actions {
+		actions[i] = make([]float64, 8)
+		for j := range actions[i] {
+			actions[i][j] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Best(state, actions)
+	}
+}
+
+func BenchmarkPrioritizedSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewPrioritizedReplay(5000, 0.6)
+	for i := 0; i < 5000; i++ {
+		p.Add(Transition{Reward: rng.Float64()})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Sample(rng, 64)
+	}
+}

@@ -1,0 +1,311 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"isrl/internal/nn"
+)
+
+// Config collects the DQN hyperparameters. Zero values select, via
+// Defaults, the paper's §V structural settings combined with the stabilized
+// optimizer recipe; PaperConfig gives §V verbatim.
+type Config struct {
+	Hidden     int // hidden-layer width (paper: one layer of 64)
+	Activation nn.Activation
+	LR         float64 // learning rate (paper: 0.003)
+	Gamma      float64 // discount factor (paper: 0.8)
+	BatchSize  int     // minibatch size (paper: 64)
+	ReplayCap  int     // replay memory size (paper: 5,000)
+	SyncEvery  int     // target sync interval in updates (paper: 20)
+	RewardC    float64 // terminal reward constant c (paper: 100)
+	Epsilon    EpsilonSchedule
+	GradClip   float64 // global-norm clip; ≤0 disables
+
+	// The zero value selects the stabilized DQN recipe (Adam, Huber loss,
+	// Double DQN, unit terminal reward), which is what measurably learns in
+	// this substrate — see DESIGN.md §2 and the abl-dqn experiment. The
+	// paper's §V settings (plain SGD, MSE, c = 100) are available through
+	// PaperConfig and these switches.
+	UseSGD     bool    // plain SGD instead of Adam (the paper's optimizer)
+	MSE        bool    // squared loss instead of Huber (the paper's loss)
+	VanillaDQN bool    // classic max-over-target instead of Double DQN
+	HuberDelta float64 // Huber transition point; 0 selects 1
+}
+
+// Defaults fills unset fields. Structural hyperparameters (width, γ, batch,
+// replay, sync cadence) take the paper's §V values; the optimizer recipe
+// defaults to the stabilized variant (see Config).
+func (c Config) Defaults() Config {
+	if c.Hidden == 0 {
+		c.Hidden = 64
+	}
+	if c.LR == 0 {
+		if c.UseSGD {
+			c.LR = 0.003 // the paper's SGD learning rate
+		} else {
+			c.LR = 0.001
+		}
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.8
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.ReplayCap == 0 {
+		c.ReplayCap = 5000
+	}
+	if c.SyncEvery == 0 {
+		c.SyncEvery = 20
+	}
+	if c.RewardC == 0 {
+		c.RewardC = 1
+	}
+	if c.Epsilon == (EpsilonSchedule{}) {
+		// Paper sets ε = 0.9; we decay it to a small floor so late episodes
+		// refine rather than thrash. DecaySteps is per-episode.
+		c.Epsilon = EpsilonSchedule{Start: 0.9, End: 0.05, DecaySteps: 2000}
+	}
+	if c.GradClip == 0 {
+		c.GradClip = 10
+	}
+	return c
+}
+
+// PaperConfig returns the exact §V training setup of the paper: plain
+// gradient descent with learning rate 0.003, MSE loss, vanilla DQN targets
+// and terminal reward c = 100. Used by the abl-dqn experiment.
+func PaperConfig() Config {
+	return Config{
+		LR:         0.003,
+		RewardC:    100,
+		UseSGD:     true,
+		MSE:        true,
+		VanillaDQN: true,
+	}
+}
+
+// Agent is a DQN over (state, action)-feature pairs: Q(s,a;Θ) is an MLP fed
+// the concatenation s ⊕ a with a scalar head. Target network Q̂(·;Θ′) is
+// synchronized from the main network every SyncEvery updates.
+type Agent struct {
+	StateDim, ActionDim int
+
+	Main, Target *nn.Network
+	cfg          Config
+	opt          nn.Optimizer
+	updates      int
+
+	in  []float64 // scratch forward input
+	gin []float64 // scratch MSE grad
+}
+
+// NewAgent builds an agent for the given feature dimensions.
+func NewAgent(stateDim, actionDim int, cfg Config, rng *rand.Rand) *Agent {
+	cfg = cfg.Defaults()
+	inDim := stateDim + actionDim
+	main := nn.NewMLP([]int{inDim, cfg.Hidden, 1}, cfg.Activation, rng)
+	var opt nn.Optimizer
+	if cfg.UseSGD {
+		opt = nn.NewSGD(cfg.LR, 0)
+	} else {
+		opt = nn.NewAdam(cfg.LR)
+	}
+	return &Agent{
+		StateDim:  stateDim,
+		ActionDim: actionDim,
+		Main:      main,
+		Target:    main.Clone(),
+		cfg:       cfg,
+		opt:       opt,
+		in:        make([]float64, inDim),
+	}
+}
+
+// Config returns the resolved hyperparameters.
+func (a *Agent) Config() Config { return a.cfg }
+
+// Q evaluates the main network's value for (state, action).
+func (a *Agent) Q(state, action []float64) float64 {
+	return a.forward(a.Main, state, action)
+}
+
+func (a *Agent) forward(net *nn.Network, state, action []float64) float64 {
+	if len(state) != a.StateDim || len(action) != a.ActionDim {
+		panic(fmt.Sprintf("rl: Q feature dims (%d,%d), want (%d,%d)",
+			len(state), len(action), a.StateDim, a.ActionDim))
+	}
+	copy(a.in, state)
+	copy(a.in[a.StateDim:], action)
+	return net.Forward1(a.in)
+}
+
+// Best returns the index of the action with the largest main-network
+// Q-value. It panics on an empty action set.
+func (a *Agent) Best(state []float64, actions [][]float64) int {
+	if len(actions) == 0 {
+		panic("rl: Best with no actions")
+	}
+	bi, bq := 0, math.Inf(-1)
+	for i, act := range actions {
+		if q := a.Q(state, act); q > bq {
+			bi, bq = i, q
+		}
+	}
+	return bi
+}
+
+// SelectEpsGreedy picks a random action with probability eps, otherwise the
+// greedy one.
+func (a *Agent) SelectEpsGreedy(rng *rand.Rand, state []float64, actions [][]float64, eps float64) int {
+	if len(actions) == 0 {
+		panic("rl: SelectEpsGreedy with no actions")
+	}
+	if rng.Float64() < eps {
+		return rng.Intn(len(actions))
+	}
+	return a.Best(state, actions)
+}
+
+// nextValue computes the bootstrap value of the next state. Vanilla DQN
+// takes max over the target network; Double DQN selects the argmax with the
+// main network and evaluates it with the target network, which removes the
+// maximization bias.
+func (a *Agent) nextValue(state []float64, actions [][]float64) float64 {
+	if len(actions) == 0 {
+		return 0 // no candidate actions recorded; treat as terminal value
+	}
+	if !a.cfg.VanillaDQN {
+		bi, bq := 0, math.Inf(-1)
+		for i, act := range actions {
+			if q := a.forward(a.Main, state, act); q > bq {
+				bi, bq = i, q
+			}
+		}
+		return a.forward(a.Target, state, actions[bi])
+	}
+	best := math.Inf(-1)
+	for _, act := range actions {
+		if q := a.forward(a.Target, state, act); q > best {
+			best = q
+		}
+	}
+	return best
+}
+
+// TrainBatch performs one gradient step on the sampled batch, minimizing the
+// DQN loss between Q(s,a) and r + γ·V(s′), and returns the mean loss. The
+// target network is synced every cfg.SyncEvery calls.
+func (a *Agent) TrainBatch(batch []Transition) float64 {
+	loss, _ := a.TrainBatchTD(batch, nil)
+	return loss
+}
+
+// TrainBatchTD is TrainBatch plus per-transition TD errors, written into
+// tdErrs when non-nil (sized to the batch) — the feedback a prioritized
+// replay buffer needs.
+func (a *Agent) TrainBatchTD(batch []Transition, tdErrs []float64) (float64, []float64) {
+	if len(batch) == 0 {
+		return 0, tdErrs
+	}
+	if tdErrs != nil && len(tdErrs) != len(batch) {
+		tdErrs = make([]float64, len(batch))
+	}
+	a.Main.ZeroGrad()
+	var total float64
+	inv := 1 / float64(len(batch))
+	pred := []float64{0}
+	tgt := []float64{0}
+	for bi, tr := range batch {
+		y := tr.Reward
+		if !tr.Terminal {
+			y += a.cfg.Gamma * a.nextValue(tr.Next, tr.NextActions)
+		}
+		q := a.forward(a.Main, tr.State, tr.Action) // forward caches activations
+		pred[0], tgt[0] = q, y
+		var loss float64
+		var grad []float64
+		if a.cfg.MSE {
+			loss, grad = nn.MSE(pred, tgt, a.gin)
+		} else {
+			loss, grad = nn.Huber(pred, tgt, a.gin, a.cfg.HuberDelta)
+		}
+		a.gin = grad
+		// Scale so the batch gradient is the mean.
+		grad[0] *= inv
+		total += loss * inv
+		if tdErrs != nil {
+			tdErrs[bi] = q - y
+		}
+		a.Main.Backward(grad)
+	}
+	nn.ClipGrads(a.Main.Params(), a.cfg.GradClip)
+	a.opt.Step(a.Main.Params())
+	a.updates++
+	if a.updates%a.cfg.SyncEvery == 0 {
+		a.Target.CopyWeightsFrom(a.Main)
+	}
+	return total, tdErrs
+}
+
+// Updates returns the number of gradient steps taken so far.
+func (a *Agent) Updates() int { return a.updates }
+
+// SyncTarget forces an immediate target-network synchronization.
+func (a *Agent) SyncTarget() { a.Target.CopyWeightsFrom(a.Main) }
+
+// MarshalBinary serializes the main network together with the feature
+// dimensions; Target is reconstructed on load.
+func (a *Agent) MarshalBinary() ([]byte, error) {
+	net, err := a.Main.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	hdr := fmt.Sprintf("dqn:%d:%d:", a.StateDim, a.ActionDim)
+	return append([]byte(hdr), net...), nil
+}
+
+// UnmarshalBinary restores an agent saved with MarshalBinary. cfg supplies
+// the hyperparameters (they are not serialized).
+func UnmarshalAgent(data []byte, cfg Config) (*Agent, error) {
+	// Header is "dqn:<stateDim>:<actionDim>:" followed by the gob payload.
+	colons := 0
+	idx := -1
+	for i, b := range data {
+		if b == ':' {
+			colons++
+			if colons == 3 {
+				idx = i + 1
+				break
+			}
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("rl: truncated agent blob")
+	}
+	var sd, ad int
+	if _, err := fmt.Sscanf(string(data[:idx]), "dqn:%d:%d:", &sd, &ad); err != nil {
+		return nil, fmt.Errorf("rl: bad agent header: %w", err)
+	}
+	var net nn.Network
+	if err := net.UnmarshalBinary(data[idx:]); err != nil {
+		return nil, err
+	}
+	cfg = cfg.Defaults()
+	a := &Agent{
+		StateDim:  sd,
+		ActionDim: ad,
+		Main:      &net,
+		Target:    net.Clone(),
+		cfg:       cfg,
+		in:        make([]float64, sd+ad),
+	}
+	if cfg.UseSGD {
+		a.opt = nn.NewSGD(cfg.LR, 0)
+	} else {
+		a.opt = nn.NewAdam(cfg.LR)
+	}
+	return a, nil
+}

@@ -1,0 +1,140 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPrioritizedReplayBasics(t *testing.T) {
+	p := NewPrioritizedReplay(4, 1)
+	if p.Len() != 0 {
+		t.Fatal("fresh buffer not empty")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if got, _ := p.Sample(rng, 3); got != nil {
+		t.Fatal("sampling empty buffer must return nil")
+	}
+	for i := 0; i < 6; i++ {
+		p.Add(Transition{Reward: float64(i)})
+	}
+	if p.Len() != 4 {
+		t.Fatalf("len = %d want 4 (capacity)", p.Len())
+	}
+	// Entries 0 and 1 evicted.
+	batch, idx := p.Sample(rng, 200)
+	if len(batch) != 200 || len(idx) != 200 {
+		t.Fatalf("sample sizes %d/%d", len(batch), len(idx))
+	}
+	for _, tr := range batch {
+		if tr.Reward < 2 {
+			t.Fatalf("evicted transition %v sampled", tr.Reward)
+		}
+	}
+}
+
+func TestPrioritizedReplaySkew(t *testing.T) {
+	p := NewPrioritizedReplay(2, 1)
+	p.Add(Transition{Reward: 0})
+	p.Add(Transition{Reward: 1})
+	// Give entry 1 a priority 9× entry 0's.
+	p.Update([]int{0, 1}, []float64{0.1, 0.9})
+	rng := rand.New(rand.NewSource(2))
+	count1 := 0
+	const n = 20000
+	batch, _ := p.Sample(rng, n)
+	for _, tr := range batch {
+		if tr.Reward == 1 {
+			count1++
+		}
+	}
+	frac := float64(count1) / n
+	// With alpha=1 and floor 1e-3: p1/(p0+p1) ≈ 0.901/1.002 ≈ 0.899.
+	if math.Abs(frac-0.9) > 0.03 {
+		t.Errorf("high-priority fraction %v, want ≈0.9", frac)
+	}
+}
+
+func TestPrioritizedReplayUpdateBounds(t *testing.T) {
+	p := NewPrioritizedReplay(3, 0) // alpha defaults to 0.6
+	p.Add(Transition{})
+	// Out-of-range indices are ignored, not panics.
+	p.Update([]int{-1, 99, 0}, []float64{1, 1, 2})
+	rng := rand.New(rand.NewSource(3))
+	if batch, _ := p.Sample(rng, 5); len(batch) != 5 {
+		t.Error("sampling after odd updates failed")
+	}
+}
+
+func TestPrioritizedReplayCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for capacity 0")
+		}
+	}()
+	NewPrioritizedReplay(0, 0.6)
+}
+
+// Double DQN must still learn the bandit, and its next-state value must use
+// the main network's argmax.
+func TestDoubleDQNLearnsBandit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewAgent(1, 1, Config{Hidden: 16, LR: 0.05, RewardC: 1}, rng)
+	state := []float64{1}
+	good, bad := []float64{1}, []float64{-1}
+	rep := NewReplay(256)
+	for i := 0; i < 200; i++ {
+		rep.Add(Transition{State: state, Action: good, Reward: 1, Terminal: true})
+		rep.Add(Transition{State: state, Action: bad, Reward: 0, Terminal: true})
+	}
+	for step := 0; step < 400; step++ {
+		a.TrainBatch(rep.Sample(rng, 32))
+	}
+	if qg, qb := a.Q(state, good), a.Q(state, bad); qg <= qb {
+		t.Errorf("Q(good)=%v ≤ Q(bad)=%v after Double-DQN training", qg, qb)
+	}
+}
+
+func TestTrainBatchTDErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewAgent(1, 1, Config{Hidden: 8, RewardC: 1}, rng)
+	batch := []Transition{
+		{State: []float64{0}, Action: []float64{1}, Reward: 5, Terminal: true},
+	}
+	_, td := a.TrainBatchTD(batch, make([]float64, 1))
+	if len(td) != 1 {
+		t.Fatalf("td errors len %d", len(td))
+	}
+	// Fresh network predicts ≈0, target is 5 → TD error ≈ −5.
+	if td[0] > -2 {
+		t.Errorf("td error %v, want strongly negative", td[0])
+	}
+}
+
+// Prioritized replay + agent integration: high-error transitions get
+// resampled and the loss falls.
+func TestPrioritizedTrainingLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := NewAgent(1, 1, Config{Hidden: 16, LR: 0.05, RewardC: 1}, rng)
+	p := NewPrioritizedReplay(128, 0.6)
+	state := []float64{1}
+	for i := 0; i < 50; i++ {
+		p.Add(Transition{State: state, Action: []float64{1}, Reward: 1, Terminal: true})
+		p.Add(Transition{State: state, Action: []float64{-1}, Reward: 0, Terminal: true})
+	}
+	var first, last float64
+	td := make([]float64, 32)
+	for step := 0; step < 300; step++ {
+		batch, idx := p.Sample(rng, 32)
+		var loss float64
+		loss, td = a.TrainBatchTD(batch, td)
+		p.Update(idx, td)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first {
+		t.Errorf("prioritized loop did not reduce loss: %v → %v", first, last)
+	}
+}

@@ -1,0 +1,93 @@
+// Package rl implements the deep Q-learning machinery of the paper's
+// interactive agents: an experience-replay buffer, ε-greedy exploration
+// schedules, and a DQN agent whose Q-network scores (state, action) feature
+// pairs — the parameterization needed because the interactive regret query
+// rebuilds its candidate action pool every round.
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Transition is one step of the interaction MDP. Action holds the feature
+// encoding of the chosen question; NextActions holds the feature encodings
+// of the candidate questions available at the next state, which the learner
+// needs to evaluate max_{a'} Q̂(s′,a′). For terminal transitions Next and
+// NextActions are ignored.
+type Transition struct {
+	State       []float64
+	Action      []float64
+	Reward      float64
+	Next        []float64
+	NextActions [][]float64
+	Terminal    bool
+}
+
+// Replay is a fixed-capacity ring buffer of transitions with uniform
+// sampling — the paper's "replay memory" (capacity 5,000 in §V).
+type Replay struct {
+	buf  []Transition
+	next int
+	full bool
+}
+
+// NewReplay returns an empty buffer with the given capacity.
+func NewReplay(capacity int) *Replay {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rl: replay capacity %d", capacity))
+	}
+	return &Replay{buf: make([]Transition, capacity)}
+}
+
+// Add stores t, evicting the oldest transition when full.
+func (r *Replay) Add(t Transition) {
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of stored transitions.
+func (r *Replay) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Sample draws n transitions uniformly with replacement. It returns fewer
+// only when the buffer is empty.
+func (r *Replay) Sample(rng *rand.Rand, n int) []Transition {
+	ln := r.Len()
+	if ln == 0 {
+		return nil
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = r.buf[rng.Intn(ln)]
+	}
+	return out
+}
+
+// EpsilonSchedule interpolates exploration probability linearly from Start
+// to End over DecaySteps episodes, holding End afterwards. A zero DecaySteps
+// keeps ε constant at Start.
+type EpsilonSchedule struct {
+	Start, End float64
+	DecaySteps int
+}
+
+// At returns ε for the given episode index.
+func (e EpsilonSchedule) At(step int) float64 {
+	if e.DecaySteps <= 0 || step >= e.DecaySteps {
+		if e.DecaySteps <= 0 {
+			return e.Start
+		}
+		return e.End
+	}
+	f := float64(step) / float64(e.DecaySteps)
+	return e.Start + f*(e.End-e.Start)
+}

@@ -1,0 +1,198 @@
+// Package server exposes interactive regret-query sessions over a small
+// JSON/HTTP API, the deployment shape the paper's motivating scenario
+// implies: a database-backed web service asking its users pairwise
+// questions. Built entirely on net/http and the core.Session pull API.
+//
+// Endpoints:
+//
+//	POST /sessions                 → {"id", "question"|null, "done"}
+//	GET  /sessions/{id}            → current question or result
+//	POST /sessions/{id}/answer     body {"prefer_first": bool}
+//	DELETE /sessions/{id}          → abort
+//
+// A question is {"first": [...], "second": [...], "attrs": [...]}; when the
+// search finishes the payload carries {"done": true, "result": {...}}.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"isrl/internal/core"
+	"isrl/internal/dataset"
+)
+
+// AlgorithmFactory builds a fresh algorithm per session. Sessions must not
+// share algorithm instances: the DQN agents keep per-call scratch state.
+type AlgorithmFactory func() core.Algorithm
+
+// Server is the HTTP handler. Create with New and mount it anywhere (it
+// implements http.Handler).
+type Server struct {
+	ds      *dataset.Dataset
+	eps     float64
+	factory AlgorithmFactory
+
+	mu       sync.Mutex
+	sessions map[string]*core.Session
+	nextID   int
+}
+
+// New builds a server for the given (already skyline-preprocessed) dataset
+// and regret threshold.
+func New(ds *dataset.Dataset, eps float64, factory AlgorithmFactory) *Server {
+	return &Server{
+		ds:       ds,
+		eps:      eps,
+		factory:  factory,
+		sessions: make(map[string]*core.Session),
+	}
+}
+
+// questionPayload is the JSON shape of one pairwise question.
+type questionPayload struct {
+	First  []float64 `json:"first"`
+	Second []float64 `json:"second"`
+	Attrs  []string  `json:"attrs,omitempty"`
+}
+
+// statePayload is the JSON shape of a session snapshot.
+type statePayload struct {
+	ID       string           `json:"id"`
+	Done     bool             `json:"done"`
+	Question *questionPayload `json:"question,omitempty"`
+	Result   *resultPayload   `json:"result,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+// resultPayload is the JSON shape of a finished search.
+type resultPayload struct {
+	PointIndex int       `json:"point_index"`
+	Point      []float64 `json:"point"`
+	Rounds     int       `json:"rounds"`
+}
+
+// answerPayload is the request body of POST /sessions/{id}/answer.
+type answerPayload struct {
+	PreferFirst bool `json:"prefer_first"`
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.Trim(r.URL.Path, "/")
+	parts := strings.Split(path, "/")
+	switch {
+	case len(parts) == 1 && parts[0] == "sessions" && r.Method == http.MethodPost:
+		s.create(w)
+	case len(parts) == 2 && parts[0] == "sessions":
+		switch r.Method {
+		case http.MethodGet:
+			s.state(w, parts[1])
+		case http.MethodDelete:
+			s.abort(w, parts[1])
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		}
+	case len(parts) == 3 && parts[0] == "sessions" && parts[2] == "answer" && r.Method == http.MethodPost:
+		s.answer(w, r, parts[1])
+	default:
+		httpError(w, http.StatusNotFound, "no route for %s %s", r.Method, r.URL.Path)
+	}
+}
+
+func (s *Server) create(w http.ResponseWriter) {
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	sess := core.NewSession(s.factory(), s.ds, s.eps)
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.respondState(w, id, sess, http.StatusCreated)
+}
+
+func (s *Server) lookup(id string) (*core.Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+func (s *Server) state(w http.ResponseWriter, id string) {
+	sess, ok := s.lookup(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	s.respondState(w, id, sess, http.StatusOK)
+}
+
+func (s *Server) answer(w http.ResponseWriter, r *http.Request, id string) {
+	sess, ok := s.lookup(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	var body answerPayload
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad answer body: %v", err)
+		return
+	}
+	// Ensure a question is pending (Next is idempotent for pending ones).
+	if _, _, done := sess.Next(); done {
+		httpError(w, http.StatusConflict, "session already finished")
+		return
+	}
+	if err := sess.Answer(body.PreferFirst); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.respondState(w, id, sess, http.StatusOK)
+}
+
+func (s *Server) abort(w http.ResponseWriter, id string) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	sess.Close()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// respondState advances to the next question (or result) and serializes it.
+func (s *Server) respondState(w http.ResponseWriter, id string, sess *core.Session, status int) {
+	pi, pj, done := sess.Next()
+	out := statePayload{ID: id, Done: done}
+	if done {
+		res, err := sess.Result()
+		if err != nil {
+			out.Error = err.Error()
+		} else {
+			out.Result = &resultPayload{PointIndex: res.PointIndex, Point: res.Point, Rounds: res.Rounds}
+		}
+		s.mu.Lock()
+		delete(s.sessions, id)
+		s.mu.Unlock()
+	} else {
+		out.Question = &questionPayload{First: pi, Second: pj, Attrs: s.ds.Attrs}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		// Connection-level failure; nothing further to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	msg := fmt.Sprintf(format, args...)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

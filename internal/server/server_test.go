@@ -1,0 +1,187 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"isrl/internal/baselines"
+	"isrl/internal/core"
+	"isrl/internal/dataset"
+	"isrl/internal/vec"
+)
+
+func testServer(t *testing.T) (*Server, *dataset.Dataset) {
+	t.Helper()
+	ds := dataset.Anticorrelated(rand.New(rand.NewSource(1)), 500, 3).Skyline()
+	srv := New(ds, 0.1, func() core.Algorithm {
+		return baselines.NewUHSimplex(baselines.UHConfig{}, rand.New(rand.NewSource(2)))
+	})
+	return srv, ds
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, statePayload) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out statePayload
+	if rec.Code < 300 && rec.Code != http.StatusNoContent {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("bad JSON (%d): %s", rec.Code, rec.Body.String())
+		}
+	}
+	return rec, out
+}
+
+// Full happy path: create a session, answer questions as a simulated user,
+// and receive a result whose regret respects the threshold.
+func TestServerFullSession(t *testing.T) {
+	srv, ds := testServer(t)
+	u := []float64{0.2, 0.5, 0.3}
+	truth := core.SimulatedUser{Utility: u}
+
+	rec, state := doJSON(t, srv, http.MethodPost, "/sessions", nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create status %d: %s", rec.Code, rec.Body.String())
+	}
+	id := state.ID
+	for rounds := 0; !state.Done; rounds++ {
+		if rounds > 200 {
+			t.Fatal("session did not finish")
+		}
+		if state.Question == nil {
+			t.Fatalf("no question and not done: %+v", state)
+		}
+		prefer := truth.Prefer(state.Question.First, state.Question.Second)
+		rec, state = doJSON(t, srv, http.MethodPost, fmt.Sprintf("/sessions/%s/answer", id), answerPayload{PreferFirst: prefer})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("answer status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	if state.Result == nil {
+		t.Fatalf("done without result: %+v", state)
+	}
+	if rr := ds.RegretRatio(state.Result.Point, u); rr > 0.1+1e-9 {
+		t.Errorf("served result regret %v > eps", rr)
+	}
+	// The session is gone once finished.
+	rec, _ = doJSON(t, srv, http.MethodGet, "/sessions/"+id, nil)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("finished session still routable: %d", rec.Code)
+	}
+}
+
+func TestServerGetRepeatsPendingQuestion(t *testing.T) {
+	srv, _ := testServer(t)
+	_, created := doJSON(t, srv, http.MethodPost, "/sessions", nil)
+	_, again := doJSON(t, srv, http.MethodGet, "/sessions/"+created.ID, nil)
+	if created.Question == nil || again.Question == nil {
+		t.Fatal("expected a pending question on both reads")
+	}
+	if !vec.Equal(created.Question.First, again.Question.First, 0) {
+		t.Error("GET must re-deliver the same pending question")
+	}
+}
+
+func TestServerAbort(t *testing.T) {
+	srv, _ := testServer(t)
+	_, created := doJSON(t, srv, http.MethodPost, "/sessions", nil)
+	rec, _ := doJSON(t, srv, http.MethodDelete, "/sessions/"+created.ID, nil)
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("delete status %d", rec.Code)
+	}
+	rec, _ = doJSON(t, srv, http.MethodGet, "/sessions/"+created.ID, nil)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("aborted session still routable: %d", rec.Code)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	cases := []struct {
+		method, path string
+		body         any
+		want         int
+	}{
+		{http.MethodGet, "/sessions/nope", nil, http.StatusNotFound},
+		{http.MethodDelete, "/sessions/nope", nil, http.StatusNotFound},
+		{http.MethodPost, "/sessions/nope/answer", answerPayload{}, http.StatusNotFound},
+		{http.MethodPut, "/sessions/x", nil, http.StatusMethodNotAllowed},
+		{http.MethodGet, "/other", nil, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		rec, _ := doJSON(t, srv, c.method, c.path, c.body)
+		if rec.Code != c.want {
+			t.Errorf("%s %s = %d, want %d", c.method, c.path, rec.Code, c.want)
+		}
+	}
+	// Malformed answer body.
+	_, created := doJSON(t, srv, http.MethodPost, "/sessions", nil)
+	req := httptest.NewRequest(http.MethodPost, "/sessions/"+created.ID+"/answer", bytes.NewBufferString("{bad"))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body status %d", rec.Code)
+	}
+}
+
+// Two sessions must progress independently.
+func TestServerConcurrentSessions(t *testing.T) {
+	srv, _ := testServer(t)
+	_, a := doJSON(t, srv, http.MethodPost, "/sessions", nil)
+	_, b := doJSON(t, srv, http.MethodPost, "/sessions", nil)
+	if a.ID == b.ID {
+		t.Fatal("duplicate session ids")
+	}
+	// Answer only session A; session B's pending question must be intact.
+	rec, _ := doJSON(t, srv, http.MethodPost, "/sessions/"+a.ID+"/answer", answerPayload{PreferFirst: true})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("answer A: %d", rec.Code)
+	}
+	rec, stateB := doJSON(t, srv, http.MethodGet, "/sessions/"+b.ID, nil)
+	if rec.Code != http.StatusOK || (stateB.Question == nil && !stateB.Done) {
+		t.Errorf("session B disturbed: %d %+v", rec.Code, stateB)
+	}
+}
+
+func BenchmarkServerFullSession(b *testing.B) {
+	ds := dataset.Anticorrelated(rand.New(rand.NewSource(1)), 500, 3).Skyline()
+	srv := New(ds, 0.1, func() core.Algorithm {
+		return baselines.NewUHSimplex(baselines.UHConfig{}, rand.New(rand.NewSource(2)))
+	})
+	truth := core.SimulatedUser{Utility: []float64{0.2, 0.5, 0.3}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/sessions", nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		var state statePayload
+		if err := json.Unmarshal(rec.Body.Bytes(), &state); err != nil {
+			b.Fatal(err)
+		}
+		for !state.Done {
+			prefer := truth.Prefer(state.Question.First, state.Question.Second)
+			var buf bytes.Buffer
+			if err := json.NewEncoder(&buf).Encode(answerPayload{PreferFirst: prefer}); err != nil {
+				b.Fatal(err)
+			}
+			req := httptest.NewRequest(http.MethodPost, "/sessions/"+state.ID+"/answer", &buf)
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if err := json.Unmarshal(rec.Body.Bytes(), &state); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
