@@ -8,19 +8,33 @@
 //	curl -X POST localhost:8080/sessions
 //	curl -X POST localhost:8080/sessions/s1/answer -d '{"prefer_first":true}'
 //	curl localhost:8080/sessions/s1
+//	curl localhost:8080/metrics        # counters, gauges, latency quantiles
+//	curl localhost:8080/healthz        # liveness probe
 //
 // Each answered question narrows the session's utility range; when the
 // ε-guarantee is met the response carries the recommended tuple.
+//
+// Observability: requests are logged through log/slog (text or JSON via
+// -log-json; per-request lines at -log-level=debug), metrics accumulate in
+// the process-wide obs registry exported at /metrics, idle sessions are
+// swept after -session-ttl, and -debug-addr exposes net/http/pprof on a
+// separate listener that is never reachable from the public address.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux (debug listener only)
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"isrl/internal/aa"
 	"isrl/internal/baselines"
@@ -28,37 +42,127 @@ import (
 	"isrl/internal/dataset"
 	"isrl/internal/ea"
 	"isrl/internal/geom"
+	"isrl/internal/obs"
+	"isrl/internal/rl"
 	"isrl/internal/server"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		data     = flag.String("data", "car", "anti, indep, corr, car, player (ignored with -csv)")
-		csvPath  = flag.String("csv", "", "serve a CSV dataset")
-		n        = flag.Int("n", 10000, "synthetic dataset size")
-		d        = flag.Int("d", 4, "synthetic dimensionality")
-		algo     = flag.String("algo", "ea", "ea, aa, uh-random, uh-simplex")
-		eps      = flag.Float64("eps", 0.1, "regret-ratio threshold")
-		episodes = flag.Int("episodes", 500, "training episodes for ea/aa")
-		seed     = flag.Int64("seed", 1, "random seed")
+		addr       = flag.String("addr", ":8080", "listen address")
+		debugAddr  = flag.String("debug-addr", "", "pprof/debug listen address (disabled when empty)")
+		data       = flag.String("data", "car", "anti, indep, corr, car, player (ignored with -csv)")
+		csvPath    = flag.String("csv", "", "serve a CSV dataset")
+		n          = flag.Int("n", 10000, "synthetic dataset size")
+		d          = flag.Int("d", 4, "synthetic dimensionality")
+		algo       = flag.String("algo", "ea", "ea, aa, uh-random, uh-simplex")
+		eps        = flag.Float64("eps", 0.1, "regret-ratio threshold")
+		episodes   = flag.Int("episodes", 500, "training episodes for ea/aa")
+		seed       = flag.Int64("seed", 1, "random seed")
+		sessionTTL = flag.Duration("session-ttl", server.DefaultSessionTTL, "evict sessions idle longer than this (0 disables)")
+		logLevel   = flag.String("log-level", "info", "debug, info, warn, error")
+		logJSON    = flag.Bool("log-json", false, "emit JSON logs instead of text")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logJSON)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	slog.SetDefault(logger)
 
 	ds, err := loadData(*csvPath, *data, *n, *d, *seed)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	log.Printf("dataset: %d skyline tuples, d=%d", ds.Len(), ds.Dim())
+	logger.Info("dataset loaded", "skyline_tuples", ds.Len(), "dim", ds.Dim())
 
-	factory, err := buildFactory(*algo, ds, *eps, *episodes, *seed)
+	factory, err := buildFactory(*algo, ds, *eps, *episodes, *seed, logger)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	srv := server.New(ds, *eps, factory)
-	log.Printf("serving interactive search on %s (algo=%s eps=%.2f)", *addr, *algo, *eps)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	srv := server.New(ds, *eps, factory,
+		server.WithLogger(logger),
+		server.WithSessionTTL(*sessionTTL),
+	)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *debugAddr != "" {
+		// net/http/pprof registered itself on the DefaultServeMux; serve it
+		// (plus a text metrics dump) on the private debug listener only.
+		http.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = obs.Default().WriteText(w)
+		})
+		dbg := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux}
+		go func() {
+			logger.Info("debug server listening", "addr", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server failed", "err", err)
+			}
+		}()
+		defer dbg.Close()
+	}
+
+	if *sessionTTL > 0 {
+		go sweeper(ctx, srv, *sessionTTL)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Info("serving interactive search", "addr", *addr, "algo", *algo, "eps", *eps, "session_ttl", *sessionTTL)
+
+	select {
+	case err := <-errc:
 		fatalf("%v", err)
+	case <-ctx.Done():
+		logger.Info("shutdown signal received, draining")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			logger.Error("shutdown incomplete", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("shutdown complete")
+	}
+}
+
+// buildLogger constructs the process logger from the CLI flags.
+func buildLogger(level string, asJSON bool) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if asJSON {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+}
+
+// sweeper periodically evicts idle sessions so a server with no traffic
+// still reclaims abandoned algorithm goroutines.
+func sweeper(ctx context.Context, srv *server.Server, ttl time.Duration) {
+	interval := ttl / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			srv.Sweep()
+		}
 	}
 }
 
@@ -77,10 +181,19 @@ func loadData(csvPath, kind string, n, d int, seed int64) (*dataset.Dataset, err
 	return ds.Skyline(), nil
 }
 
+// publishTraining pushes a finished training run into the default obs
+// registry so /metrics reports DQN state alongside the serving metrics.
+func publishTraining(episodes int, avgRounds float64, stats rl.TrainStats) {
+	reg := obs.Default()
+	reg.Gauge("train.episodes").Set(int64(episodes))
+	reg.FloatGauge("train.avg_rounds").Set(avgRounds)
+	stats.Publish(reg)
+}
+
 // buildFactory trains RL agents once up front and hands each session its
 // own algorithm instance (the RL agents keep per-call scratch state, so
 // sessions get independent handles; baselines are cheap to rebuild).
-func buildFactory(algo string, ds *dataset.Dataset, eps float64, episodes int, seed int64) (server.AlgorithmFactory, error) {
+func buildFactory(algo string, ds *dataset.Dataset, eps float64, episodes int, seed int64, logger *slog.Logger) (server.AlgorithmFactory, error) {
 	rng := rand.New(rand.NewSource(seed))
 	trainVectors := func() [][]float64 {
 		users := make([][]float64, episodes)
@@ -91,12 +204,16 @@ func buildFactory(algo string, ds *dataset.Dataset, eps float64, episodes int, s
 	}
 	switch algo {
 	case "ea":
-		log.Printf("training EA on %d simulated users...", episodes)
+		logger.Info("training EA", "episodes", episodes)
 		e := ea.New(ds, eps, ea.Config{}, rng)
 		if episodes > 0 {
-			if _, err := e.Train(trainVectors()); err != nil {
+			st, err := e.Train(trainVectors())
+			if err != nil {
 				return nil, err
 			}
+			logger.Info("EA trained", "avg_rounds", st.AvgRounds,
+				"loss_ema", st.RL.LossEMA, "updates", st.RL.Updates, "target_syncs", st.RL.TargetSyncs)
+			publishTraining(st.Episodes, st.AvgRounds, st.RL)
 		}
 		blob, err := e.Agent().MarshalBinary()
 		if err != nil {
@@ -111,12 +228,16 @@ func buildFactory(algo string, ds *dataset.Dataset, eps float64, episodes int, s
 			return inst
 		}, nil
 	case "aa":
-		log.Printf("training AA on %d simulated users...", episodes)
+		logger.Info("training AA", "episodes", episodes)
 		a := aa.New(ds, eps, aa.Config{}, rng)
 		if episodes > 0 {
-			if _, err := a.Train(trainVectors()); err != nil {
+			st, err := a.Train(trainVectors())
+			if err != nil {
 				return nil, err
 			}
+			logger.Info("AA trained", "avg_rounds", st.AvgRounds,
+				"loss_ema", st.RL.LossEMA, "updates", st.RL.Updates, "target_syncs", st.RL.TargetSyncs)
+			publishTraining(st.Episodes, st.AvgRounds, st.RL)
 		}
 		blob, err := a.Agent().MarshalBinary()
 		if err != nil {

@@ -64,6 +64,9 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "EA trained: %d episodes, avg %.1f rounds, %v\n",
 			stats.Episodes, stats.AvgRounds, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "  dqn: %d updates, %d target syncs, loss ema %.5f, replay %d/%d, final eps %.3f\n",
+			stats.RL.Updates, stats.RL.TargetSyncs, stats.RL.LossEMA,
+			stats.RL.ReplaySize, stats.RL.ReplayCap, stats.RL.Epsilon)
 		if blob, err = e.Agent().MarshalBinary(); err != nil {
 			fatalf("serialize: %v", err)
 		}
@@ -75,6 +78,9 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "AA trained: %d episodes, avg %.1f rounds, %v\n",
 			stats.Episodes, stats.AvgRounds, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "  dqn: %d updates, %d target syncs, loss ema %.5f, replay %d/%d, final eps %.3f\n",
+			stats.RL.Updates, stats.RL.TargetSyncs, stats.RL.LossEMA,
+			stats.RL.ReplaySize, stats.RL.ReplayCap, stats.RL.Epsilon)
 		if blob, err = a.Agent().MarshalBinary(); err != nil {
 			fatalf("serialize: %v", err)
 		}

@@ -40,5 +40,15 @@
 //	res, err := ea.Run(ds, user, 0.1, nil)
 //	// res.Point is within ε of the user's favorite; res.Rounds questions asked.
 //
+// # Observability
+//
+// The stack is instrumented through internal/obs, a stdlib-only metrics
+// layer (atomic counters, gauges, quantile histograms, a named registry).
+// The HTTP server (internal/server, cmd/isrl-serve) exports the registry at
+// GET /metrics next to a GET /healthz liveness probe; DQN training
+// publishes loss/epsilon/replay telemetry into the same registry, and the
+// geometry hot paths (LP solves, hit-and-run sampling, vertex enumeration)
+// keep baseline counters for performance work.
+//
 // See examples/ for runnable programs and DESIGN.md for the architecture.
 package isrl

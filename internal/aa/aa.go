@@ -304,6 +304,7 @@ type TrainStats struct {
 	TotalSteps int
 	AvgRounds  float64
 	FinalLoss  float64
+	RL         rl.TrainStats // DQN-level telemetry (loss EMA, syncs, replay)
 }
 
 // Train runs Algorithm 3 over the training utility vectors.
@@ -311,9 +312,10 @@ func (a *AA) Train(users [][]float64) (TrainStats, error) {
 	replay := rl.NewReplay(a.cfg.RL.ReplayCap)
 	stats := TrainStats{Episodes: len(users)}
 	var rounds float64
+	var epsilon float64
 	for ep, u := range users {
 		user := core.SimulatedUser{Utility: u}
-		epsilon := a.agent.Config().Epsilon.At(ep)
+		epsilon = a.agent.Config().Epsilon.At(ep)
 		n, err := a.episode(user, epsilon, replay)
 		if err != nil {
 			return stats, fmt.Errorf("aa: training episode %d: %w", ep, err)
@@ -331,6 +333,9 @@ func (a *AA) Train(users [][]float64) (TrainStats, error) {
 	if len(users) > 0 {
 		stats.AvgRounds = rounds / float64(len(users))
 	}
+	stats.RL = a.agent.Stats()
+	stats.RL.Epsilon = epsilon
+	stats.RL.ReplaySize = replay.Len()
 	return stats, nil
 }
 

@@ -2,10 +2,17 @@ package core
 
 import (
 	"math/rand"
+	"time"
 
 	"isrl/internal/dataset"
 	"isrl/internal/geom"
+	"isrl/internal/obs"
 )
+
+// maxRegretMS times MaxRegretEstimate, the dominant cost of progress
+// tracing (one inner-ball LP plus up to 10,000 hit-and-run samples per
+// call). The histogram gives perf PRs a before/after baseline.
+var maxRegretMS = obs.Default().Histogram("core.max_regret_ms", obs.LatencyBuckets())
 
 // MaxRegretEstimate reproduces the paper's per-round measurement protocol
 // for Figures 7–8: from the halfspaces learned so far, build the utility
@@ -18,6 +25,8 @@ import (
 // included so the estimate is defined even when sampling fails (degenerate
 // R).
 func MaxRegretEstimate(ds *dataset.Dataset, halfspaces []geom.Halfspace, rng *rand.Rand, numSamples int) float64 {
+	start := time.Now()
+	defer func() { maxRegretMS.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
 	if numSamples <= 0 {
 		numSamples = 10000
 	}

@@ -311,6 +311,7 @@ type TrainStats struct {
 	TotalSteps int
 	AvgRounds  float64 // mean episode length over the last window
 	FinalLoss  float64
+	RL         rl.TrainStats // DQN-level telemetry (loss EMA, syncs, replay)
 }
 
 // Train runs Algorithm 1 over the given training utility vectors (one
@@ -320,9 +321,10 @@ func (e *EA) Train(users [][]float64) (TrainStats, error) {
 	replay := rl.NewReplay(e.cfg.RL.ReplayCap)
 	stats := TrainStats{Episodes: len(users)}
 	var windowRounds, windowCount float64
+	var epsilon float64
 	for ep, u := range users {
 		user := core.SimulatedUser{Utility: u}
-		epsilon := e.agent.Config().Epsilon.At(ep)
+		epsilon = e.agent.Config().Epsilon.At(ep)
 		rounds, err := e.episode(user, epsilon, replay, nil)
 		if err != nil {
 			return stats, fmt.Errorf("ea: training episode %d: %w", ep, err)
@@ -342,6 +344,9 @@ func (e *EA) Train(users [][]float64) (TrainStats, error) {
 	if windowCount > 0 {
 		stats.AvgRounds = windowRounds / windowCount
 	}
+	stats.RL = e.agent.Stats()
+	stats.RL.Epsilon = epsilon
+	stats.RL.ReplaySize = replay.Len()
 	return stats, nil
 }
 

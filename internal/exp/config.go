@@ -83,9 +83,12 @@ func (c Config) synthetic(n, d int) *dataset.Dataset {
 func (c Config) trainedEA(ds *dataset.Dataset, eps float64, cfg ea.Config, episodes int) (*ea.EA, error) {
 	e := ea.New(ds, eps, cfg, c.rng(17))
 	if episodes > 0 {
-		if _, err := e.Train(c.trainVectors(ds.Dim(), episodes)); err != nil {
+		st, err := e.Train(c.trainVectors(ds.Dim(), episodes))
+		if err != nil {
 			return nil, err
 		}
+		c.logf("trained EA: %d episodes, avg %.1f rounds, loss ema %.5f, %d updates, %d syncs",
+			st.Episodes, st.AvgRounds, st.RL.LossEMA, st.RL.Updates, st.RL.TargetSyncs)
 	}
 	return e, nil
 }
@@ -94,9 +97,12 @@ func (c Config) trainedEA(ds *dataset.Dataset, eps float64, cfg ea.Config, episo
 func (c Config) trainedAA(ds *dataset.Dataset, eps float64, cfg aa.Config, episodes int) (*aa.AA, error) {
 	a := aa.New(ds, eps, cfg, c.rng(19))
 	if episodes > 0 {
-		if _, err := a.Train(c.trainVectors(ds.Dim(), episodes)); err != nil {
+		st, err := a.Train(c.trainVectors(ds.Dim(), episodes))
+		if err != nil {
 			return nil, err
 		}
+		c.logf("trained AA: %d episodes, avg %.1f rounds, loss ema %.5f, %d updates, %d syncs",
+			st.Episodes, st.AvgRounds, st.RL.LossEMA, st.RL.Updates, st.RL.TargetSyncs)
 	}
 	return a, nil
 }

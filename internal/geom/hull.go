@@ -58,7 +58,7 @@ func isExtreme(points [][]float64, i, d int) bool {
 		}
 		prob.AddEQ(row, points[i][k])
 	}
-	res := lp.Solve(prob)
+	res := solveLP(prob)
 	return res.Status != lp.Optimal
 }
 

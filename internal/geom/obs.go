@@ -1,0 +1,25 @@
+package geom
+
+import (
+	"isrl/internal/lp"
+	"isrl/internal/obs"
+)
+
+// Hot-path instrumentation. LP solving and hit-and-run sampling dominate
+// the cost of every polytope-maintaining algorithm, so their call volumes
+// are counted into the process-wide registry: perf PRs get a baseline, and
+// a live server exposes them at /metrics. Counters are single atomic adds;
+// the overhead is noise next to one simplex pivot.
+var (
+	lpSolves     = obs.Default().Counter("geom.lp_solves")
+	sampleCalls  = obs.Default().Counter("geom.sample_calls")
+	samplePoints = obs.Default().Counter("geom.sample_points")
+	vertexEnums  = obs.Default().Counter("geom.vertex_enums")
+)
+
+// solveLP is lp.Solve with a call counter — every geometry-layer LP goes
+// through here.
+func solveLP(p *lp.Problem) lp.Result {
+	lpSolves.Inc()
+	return lp.Solve(p)
+}

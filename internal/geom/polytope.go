@@ -98,7 +98,7 @@ func (p *Polytope) baseProblem(extraVars int) *lp.Problem {
 // IsEmpty reports whether R has no point (within LP tolerance).
 func (p *Polytope) IsEmpty() bool {
 	prob := p.baseProblem(0)
-	return lp.Solve(prob).Status != lp.Optimal
+	return solveLP(prob).Status != lp.Optimal
 }
 
 // InteriorSlack maximizes the smallest halfspace slack min_k wₖ·u over u ∈ U
@@ -129,7 +129,7 @@ func (p *Polytope) InteriorSlack() (slack float64, u []float64, ok bool) {
 	bound := make([]float64, d+1)
 	bound[d] = 1
 	prob.AddLE(bound, 1)
-	res := lp.Solve(prob)
+	res := solveLP(prob)
 	if res.Status != lp.Optimal {
 		return 0, nil, false
 	}
@@ -153,7 +153,7 @@ func (p *Polytope) Feasible(h Halfspace, margin float64) bool {
 func (p *Polytope) sideFeasible(w []float64, margin float64) bool {
 	prob := p.baseProblem(0)
 	copy(prob.Maximize, w)
-	res := lp.Solve(prob)
+	res := solveLP(prob)
 	return res.Status == lp.Optimal && res.Objective > margin
 }
 
@@ -167,13 +167,13 @@ func (p *Polytope) OuterRect() (emin, emax []float64, err error) {
 	for i := 0; i < d; i++ {
 		vec.Fill(prob.Maximize, 0)
 		prob.Maximize[i] = 1
-		res := lp.Solve(prob)
+		res := solveLP(prob)
 		if res.Status != lp.Optimal {
 			return nil, nil, fmt.Errorf("geom: outer rect max dim %d: %v", i, res.Status)
 		}
 		emax[i] = res.Objective
 		prob.Maximize[i] = -1
-		res = lp.Solve(prob)
+		res = solveLP(prob)
 		if res.Status != lp.Optimal {
 			return nil, nil, fmt.Errorf("geom: outer rect min dim %d: %v", i, res.Status)
 		}
@@ -220,7 +220,7 @@ func (p *Polytope) InnerBall() (Ball, error) {
 		row[d] = -1 // w·c/‖w‖ − r ≥ 0
 		prob.AddGE(row, 0)
 	}
-	res := lp.Solve(prob)
+	res := solveLP(prob)
 	if res.Status != lp.Optimal {
 		return Ball{}, fmt.Errorf("geom: inner ball: %v", res.Status)
 	}

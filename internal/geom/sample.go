@@ -38,6 +38,8 @@ type SampleOptions struct {
 // number of sample vectors falling inside a terminal polyhedron tracks its
 // volume fraction.
 func (p *Polytope) Sample(rng *rand.Rand, n int, opts SampleOptions) ([][]float64, error) {
+	sampleCalls.Inc()
+	samplePoints.Add(int64(n))
 	d := p.Dim
 	ib, err := p.InnerBall()
 	if err != nil {

@@ -29,6 +29,7 @@ func (p *Polytope) Vertices() ([][]float64, error) {
 	if !p.vertsDirty {
 		return p.verts, nil
 	}
+	vertexEnums.Inc()
 	d := p.Dim
 	// Constraint pool as normals of hyperplanes through the origin.
 	pool := make([][]float64, 0, d+len(p.Halfspaces))

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram accumulates observations into fixed buckets and estimates
+// quantiles by linear interpolation within the containing bucket. All
+// updates are lock-free atomics; snapshots taken under concurrent writes
+// are approximate (buckets are read one by one), which is the usual and
+// acceptable trade-off for monitoring data.
+//
+// Buckets are defined by ascending upper bounds; an observation v lands in
+// the first bucket with v ≤ bound, or in the implicit overflow bucket past
+// the last bound. Observations are assumed non-negative (latencies, sizes,
+// round counts); the first bucket's lower edge is 0.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// It panics on an empty or unsorted bound slice.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// LinearBuckets returns n bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns n bounds start, start·factor, start·factor², ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the default bound set for millisecond latencies:
+// 0.05ms up to ~26s in ×2 steps.
+func LatencyBuckets() []float64 { return ExpBuckets(0.05, 2, 20) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sumBits, v)
+	atomicMinFloat(&h.minBits, v)
+	atomicMaxFloat(&h.maxBits, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by interpolating inside
+// the containing bucket. It returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Bucket is one exported histogram bucket: the count of observations with
+// value ≤ Le (upper bound of this bucket, exclusive of earlier buckets).
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time JSON-ready view of a histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Mean    float64  `json:"mean"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	P50     float64  `json:"p50"`
+	P95     float64  `json:"p95"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+
+	bounds []float64
+	counts []int64
+}
+
+// Snapshot captures the histogram's current state with precomputed
+// p50/p95/p99.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+		bounds: h.bounds,
+		counts: make([]int64, len(h.counts)),
+	}
+	var inBuckets int64
+	for i := range h.counts {
+		s.counts[i] = h.counts[i].Load()
+		inBuckets += s.counts[i]
+	}
+	// Concurrent Observe may have bumped count before its bucket (or vice
+	// versa); quantiles rank against what the buckets actually hold.
+	s.Count = inBuckets
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = s.Sum / float64(s.Count)
+	s.Min = math.Float64frombits(h.minBits.Load())
+	s.Max = math.Float64frombits(h.maxBits.Load())
+	s.Buckets = make([]Bucket, 0, len(h.bounds))
+	for i, b := range h.bounds {
+		if s.counts[i] > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: b, Count: s.counts[i]})
+		}
+	}
+	if over := s.counts[len(s.counts)-1]; over > 0 {
+		s.Buckets = append(s.Buckets, Bucket{Le: math.Inf(1), Count: over})
+	}
+	s.P50 = s.Quantile(0.5)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// Quantile estimates the q-quantile from the snapshot's buckets.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lower := 0.0
+			if i > 0 {
+				lower = s.bounds[i-1]
+			}
+			upper := s.Max
+			if i < len(s.bounds) && s.bounds[i] < upper {
+				upper = s.bounds[i]
+			}
+			if lower < s.Min {
+				lower = s.Min
+			}
+			if upper < lower {
+				upper = lower
+			}
+			frac := (target - cum) / float64(c)
+			return lower + frac*(upper-lower)
+		}
+		cum = next
+	}
+	return s.Max
+}

@@ -1,0 +1,110 @@
+// Package obs is a dependency-free observability toolkit: atomic counters,
+// gauges, fixed-bucket histograms with quantile estimates, and a
+// concurrency-safe named registry with JSON and expvar-style text export.
+//
+// It exists so the hot paths of the interactive-search stack (HTTP serving,
+// DQN training, LP solving, polytope sampling) can be instrumented without
+// pulling in any external metrics dependency: everything here is stdlib
+// only, and a metric update is one or two atomic operations.
+//
+// The package-level Default registry is the process-wide sink; libraries
+// register their instruments there at init time and servers export it at
+// GET /metrics. Isolated registries (NewRegistry) serve tests and embedders
+// that want separate namespaces.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n. Negative n is ignored: counters only go
+// up (use a Gauge for values that move both ways).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic integer gauge: a value that can move both ways, such
+// as an in-flight request count. The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is an atomic float64 gauge, for quantities like a loss EMA or
+// an exploration rate. The zero value is ready to use and reads as 0.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// atomicAddFloat accumulates delta into the float64 stored in bits via a
+// CAS loop.
+func atomicAddFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// atomicMinFloat lowers the float64 stored in bits to v if v is smaller.
+func atomicMinFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// atomicMaxFloat raises the float64 stored in bits to v if v is larger.
+func atomicMaxFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+	var f FloatGauge
+	if f.Value() != 0 {
+		t.Errorf("zero FloatGauge = %v, want 0", f.Value())
+	}
+	f.Set(0.25)
+	if f.Value() != 0.25 {
+		t.Errorf("float gauge = %v, want 0.25", f.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(LinearBuckets(10, 10, 10)) // 10,20,...,100
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if want := 5050.0; h.Sum() != want {
+		t.Errorf("sum = %v, want %v", h.Sum(), want)
+	}
+	s := h.Snapshot()
+	if s.Min != 1 || s.Max != 100 {
+		t.Errorf("min/max = %v/%v, want 1/100", s.Min, s.Max)
+	}
+	// With 10 observations per bucket the interpolated quantiles should be
+	// within one bucket width of the exact order statistics.
+	for _, tc := range []struct{ q, want float64 }{{0.5, 50}, {0.95, 95}, {0.99, 99}} {
+		got := s.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 10 {
+			t.Errorf("q%v = %v, want within 10 of %v", tc.q, got, tc.want)
+		}
+	}
+	if s.P50 != s.Quantile(0.5) {
+		t.Errorf("P50 %v != Quantile(0.5) %v", s.P50, s.Quantile(0.5))
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(100)
+	h.Observe(200)
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Everything is in the overflow bucket; quantiles are capped at max.
+	if got := s.Quantile(0.99); got > 200 || got < 100 {
+		t.Errorf("overflow q99 = %v, want in [100,200]", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic registering gauge over counter")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Add(3)
+	r.Gauge("active").Set(2)
+	r.FloatGauge("loss").Set(0.5)
+	r.Histogram("lat", LatencyBuckets()).Observe(1.5)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	for _, k := range []string{"reqs", "active", "loss", "lat"} {
+		if _, ok := decoded[k]; !ok {
+			t.Errorf("JSON export missing %q", k)
+		}
+	}
+	hist, ok := decoded["lat"].(map[string]any)
+	if !ok {
+		t.Fatalf("lat is %T, want object", decoded["lat"])
+	}
+	for _, k := range []string{"count", "p50", "p95", "p99"} {
+		if _, ok := hist[k]; !ok {
+			t.Errorf("histogram export missing %q", k)
+		}
+	}
+}
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.Histogram("h", []float64{1, 2}).Observe(1)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("too few lines: %q", sb.String())
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Errorf("lines not sorted: %q after %q", lines[i], lines[i-1])
+		}
+	}
+	if !strings.HasPrefix(lines[0], "a ") {
+		t.Errorf("first line %q, want counter a", lines[0])
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from 32 goroutines mixing
+// get-or-create, updates and exports; run with -race it doubles as the
+// concurrency-hygiene gate for the whole package.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 32
+	const iters = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared.counter").Inc()
+				r.Gauge("shared.gauge").Set(int64(i))
+				r.FloatGauge("shared.float").Set(float64(i))
+				r.Histogram("shared.hist", LinearBuckets(100, 100, 10)).Observe(float64(i))
+				if i%100 == g%100 {
+					_ = r.Snapshot()
+					_ = r.WriteJSON(io.Discard)
+					_ = r.WriteText(io.Discard)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared.counter").Value(); got != goroutines*iters {
+		t.Errorf("counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.Histogram("shared.hist", nil).Count(); got != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+	s := r.Histogram("shared.hist", nil).Snapshot()
+	if s.Min != 0 || s.Max != iters-1 {
+		t.Errorf("hist min/max = %v/%v, want 0/%d", s.Min, s.Max, iters-1)
+	}
+}

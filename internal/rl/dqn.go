@@ -97,10 +97,17 @@ type Agent struct {
 	cfg          Config
 	opt          nn.Optimizer
 	updates      int
+	syncs        int     // target-network synchronizations
+	lastLoss     float64 // loss of the most recent batch
+	lossEMA      float64 // exponential moving average of the batch loss
 
 	in  []float64 // scratch forward input
 	gin []float64 // scratch MSE grad
 }
+
+// emaDecay smooths the training-loss EMA over roughly the last ~200
+// batches — long enough to be stable, short enough to track divergence.
+const emaDecay = 0.995
 
 // NewAgent builds an agent for the given feature dimensions.
 func NewAgent(stateDim, actionDim int, cfg Config, rng *rand.Rand) *Agent {
@@ -244,8 +251,15 @@ func (a *Agent) TrainBatchTD(batch []Transition, tdErrs []float64) (float64, []f
 	nn.ClipGrads(a.Main.Params(), a.cfg.GradClip)
 	a.opt.Step(a.Main.Params())
 	a.updates++
+	a.lastLoss = total
+	if a.updates == 1 {
+		a.lossEMA = total
+	} else {
+		a.lossEMA = emaDecay*a.lossEMA + (1-emaDecay)*total
+	}
 	if a.updates%a.cfg.SyncEvery == 0 {
 		a.Target.CopyWeightsFrom(a.Main)
+		a.syncs++
 	}
 	return total, tdErrs
 }
@@ -254,7 +268,36 @@ func (a *Agent) TrainBatchTD(batch []Transition, tdErrs []float64) (float64, []f
 func (a *Agent) Updates() int { return a.updates }
 
 // SyncTarget forces an immediate target-network synchronization.
-func (a *Agent) SyncTarget() { a.Target.CopyWeightsFrom(a.Main) }
+func (a *Agent) SyncTarget() {
+	a.Target.CopyWeightsFrom(a.Main)
+	a.syncs++
+}
+
+// TrainStats is a point-in-time snapshot of DQN training progress — the
+// telemetry surfaced at /metrics when an RL algorithm backs the server.
+// Updates/TargetSyncs/loss fields come from the agent itself (Stats);
+// Epsilon and the replay fields are filled in by the training loop, which
+// owns the schedule and the buffer.
+type TrainStats struct {
+	Updates     int     `json:"updates"`      // gradient steps taken
+	TargetSyncs int     `json:"target_syncs"` // target-network synchronizations
+	LastLoss    float64 `json:"last_loss"`    // most recent batch loss
+	LossEMA     float64 `json:"loss_ema"`     // smoothed batch loss (decay 0.995)
+	Epsilon     float64 `json:"epsilon"`      // exploration rate at the last episode
+	ReplaySize  int     `json:"replay_size"`  // transitions currently buffered
+	ReplayCap   int     `json:"replay_cap"`   // replay buffer capacity
+}
+
+// Stats snapshots the agent-owned training telemetry.
+func (a *Agent) Stats() TrainStats {
+	return TrainStats{
+		Updates:     a.updates,
+		TargetSyncs: a.syncs,
+		LastLoss:    a.lastLoss,
+		LossEMA:     a.lossEMA,
+		ReplayCap:   a.cfg.ReplayCap,
+	}
+}
 
 // MarshalBinary serializes the main network together with the feature
 // dimensions; Target is reconstructed on load.

@@ -1,0 +1,17 @@
+package rl
+
+import "isrl/internal/obs"
+
+// Publish writes the snapshot into reg under the dqn.* namespace, making
+// training telemetry visible on a server's /metrics endpoint. Gauges are
+// overwritten, so repeated publishes (e.g. after periodic retraining)
+// always reflect the latest run.
+func (s TrainStats) Publish(reg *obs.Registry) {
+	reg.Gauge("dqn.updates").Set(int64(s.Updates))
+	reg.Gauge("dqn.target_syncs").Set(int64(s.TargetSyncs))
+	reg.FloatGauge("dqn.last_loss").Set(s.LastLoss)
+	reg.FloatGauge("dqn.loss_ema").Set(s.LossEMA)
+	reg.FloatGauge("dqn.epsilon").Set(s.Epsilon)
+	reg.Gauge("dqn.replay_size").Set(int64(s.ReplaySize))
+	reg.Gauge("dqn.replay_cap").Set(int64(s.ReplayCap))
+}

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"isrl/internal/baselines"
+	"isrl/internal/core"
+	"isrl/internal/dataset"
+	"isrl/internal/obs"
+)
+
+// obsServer builds a server with an isolated registry, a quiet logger and
+// an adjustable fake clock.
+func obsServer(t *testing.T, opts ...Option) (*Server, *obs.Registry, *time.Time) {
+	t.Helper()
+	ds := dataset.Anticorrelated(rand.New(rand.NewSource(1)), 500, 3).Skyline()
+	reg := obs.NewRegistry()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv := New(ds, 0.1, func() core.Algorithm {
+		return baselines.NewUHSimplex(baselines.UHConfig{}, rand.New(rand.NewSource(2)))
+	}, append([]Option{WithRegistry(reg), WithLogger(quiet)}, opts...)...)
+	clock := time.Now()
+	srv.now = func() time.Time { return clock }
+	return srv, reg, &clock
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _, _ := obsServer(t)
+	rec := get(t, srv, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("healthz not JSON: %v", err)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("healthz status field = %v", body["status"])
+	}
+	if body["dataset_tuples"].(float64) <= 0 {
+		t.Errorf("healthz dataset_tuples = %v", body["dataset_tuples"])
+	}
+}
+
+// drive runs one full session through the HTTP API and returns its id.
+func drive(t *testing.T, srv *Server) string {
+	t.Helper()
+	truth := core.SimulatedUser{Utility: []float64{0.2, 0.5, 0.3}}
+	rec, state := doJSON(t, srv, http.MethodPost, "/sessions", nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create status %d", rec.Code)
+	}
+	for rounds := 0; !state.Done; rounds++ {
+		if rounds > 200 {
+			t.Fatal("session did not finish")
+		}
+		prefer := truth.Prefer(state.Question.First, state.Question.Second)
+		_, state = doJSON(t, srv, http.MethodPost, "/sessions/"+state.ID+"/answer", answerPayload{PreferFirst: prefer})
+	}
+	return state.ID
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _, _ := obsServer(t)
+	drive(t, srv)
+	get(t, srv, "/nope") // one 404 for the status-class counter
+
+	rec := get(t, srv, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("metrics content type %q", ct)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	for _, k := range []string{
+		"http.requests.create_session",
+		"http.requests.answer",
+		"http.responses.other.4xx",
+		"http.latency_ms.create_session",
+		"http.in_flight",
+		"sessions.active",
+		"sessions.created",
+		"sessions.finished",
+		"sessions.rounds",
+		"server.uptime_s",
+	} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("metrics missing %q", k)
+		}
+	}
+	var created int64
+	if err := json.Unmarshal(snap["sessions.created"], &created); err != nil || created != 1 {
+		t.Errorf("sessions.created = %s, want 1", snap["sessions.created"])
+	}
+	var hist obs.HistogramSnapshot
+	if err := json.Unmarshal(snap["sessions.rounds"], &hist); err != nil {
+		t.Fatalf("rounds histogram: %v", err)
+	}
+	if hist.Count != 1 || hist.Sum < 1 {
+		t.Errorf("rounds histogram count=%d sum=%v, want one finished session", hist.Count, hist.Sum)
+	}
+	var lat obs.HistogramSnapshot
+	if err := json.Unmarshal(snap["http.latency_ms.create_session"], &lat); err != nil {
+		t.Fatalf("latency histogram: %v", err)
+	}
+	if lat.Count != 1 {
+		t.Errorf("create_session latency count = %d, want 1", lat.Count)
+	}
+}
+
+func TestMetricsTextFormat(t *testing.T) {
+	srv, _, _ := obsServer(t)
+	get(t, srv, "/healthz")
+	rec := get(t, srv, "/metrics?format=text")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics text status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Errorf("text content type %q", ct)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "http.requests.healthz 1") {
+		t.Errorf("text export missing healthz counter:\n%s", body)
+	}
+}
+
+// Middleware must attribute statuses to the right class counters even for
+// error responses.
+func TestMiddlewareRecordsStatusClasses(t *testing.T) {
+	srv, reg, _ := obsServer(t)
+	get(t, srv, "/sessions/ghost") // 404 on get_session
+	get(t, srv, "/healthz")        // 200
+	if got := reg.Counter("http.responses.get_session.4xx").Value(); got != 1 {
+		t.Errorf("get_session 4xx = %d, want 1", got)
+	}
+	if got := reg.Counter("http.responses.healthz.2xx").Value(); got != 1 {
+		t.Errorf("healthz 2xx = %d, want 1", got)
+	}
+	if got := reg.Histogram("http.latency_ms.get_session", nil).Count(); got != 1 {
+		t.Errorf("get_session latency observations = %d, want 1", got)
+	}
+}
+
+func Test405CarriesAllowHeader(t *testing.T) {
+	srv, _, _ := obsServer(t)
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodPut, "/sessions/x", "GET, DELETE"},
+		{http.MethodGet, "/sessions", "POST"},
+		{http.MethodDelete, "/sessions/x/answer", "POST"},
+		{http.MethodPost, "/healthz", "GET"},
+		{http.MethodPost, "/metrics", "GET"},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(c.method, c.path, nil))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", c.method, c.path, rec.Code)
+			continue
+		}
+		if got := rec.Header().Get("Allow"); got != c.allow {
+			t.Errorf("%s %s Allow = %q, want %q", c.method, c.path, got, c.allow)
+		}
+	}
+}
+
+func TestSessionTTLEviction(t *testing.T) {
+	srv, reg, clock := obsServer(t, WithSessionTTL(time.Minute))
+	_, created := doJSON(t, srv, http.MethodPost, "/sessions", nil)
+
+	// Still fresh: nothing to evict.
+	if n := srv.Sweep(); n != 0 {
+		t.Fatalf("fresh session swept: %d", n)
+	}
+
+	// Touching a session must reset its TTL clock.
+	*clock = clock.Add(50 * time.Second)
+	doJSON(t, srv, http.MethodGet, "/sessions/"+created.ID, nil)
+	*clock = clock.Add(50 * time.Second) // 100s since create, 50s since touch
+	if n := srv.Sweep(); n != 0 {
+		t.Fatalf("recently touched session swept: %d", n)
+	}
+
+	*clock = clock.Add(2 * time.Minute)
+	if n := srv.Sweep(); n != 1 {
+		t.Fatalf("swept %d sessions, want 1", n)
+	}
+	if got := reg.Counter("sessions.evicted").Value(); got != 1 {
+		t.Errorf("sessions.evicted = %d, want 1", got)
+	}
+	if got := reg.Gauge("sessions.active").Value(); got != 0 {
+		t.Errorf("sessions.active = %d, want 0", got)
+	}
+	rec, _ := doJSON(t, srv, http.MethodGet, "/sessions/"+created.ID, nil)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("evicted session still routable: %d", rec.Code)
+	}
+}
+
+// The lazy sweep must fire from the request path without anyone calling
+// Sweep explicitly.
+func TestLazySweepOnRequests(t *testing.T) {
+	srv, reg, clock := obsServer(t, WithSessionTTL(time.Minute))
+	doJSON(t, srv, http.MethodPost, "/sessions", nil)
+	*clock = clock.Add(5 * time.Minute)
+	get(t, srv, "/healthz") // any request past ttl/4 triggers the sweep
+	if got := reg.Counter("sessions.evicted").Value(); got != 1 {
+		t.Errorf("lazy sweep evicted %d, want 1", got)
+	}
+}

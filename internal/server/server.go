@@ -9,25 +9,48 @@
 //	GET  /sessions/{id}            → current question or result
 //	POST /sessions/{id}/answer     body {"prefer_first": bool}
 //	DELETE /sessions/{id}          → abort
+//	GET  /healthz                  → liveness probe
+//	GET  /metrics                  → obs registry snapshot (JSON; ?format=text)
 //
 // A question is {"first": [...], "second": [...], "attrs": [...]}; when the
 // search finishes the payload carries {"done": true, "result": {...}}.
+//
+// Every request flows through an instrumentation middleware recording
+// per-route request counts, status classes and latency histograms into the
+// server's obs.Registry; session lifecycle (created / finished / aborted /
+// evicted, rounds per finished session) is tracked alongside. Sessions
+// untouched for longer than the configured TTL are swept and closed so
+// abandoned browsers cannot leak algorithm goroutines. See README.md in
+// this directory for the full metric list.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"isrl/internal/core"
 	"isrl/internal/dataset"
+	"isrl/internal/obs"
 )
 
 // AlgorithmFactory builds a fresh algorithm per session. Sessions must not
 // share algorithm instances: the DQN agents keep per-call scratch state.
 type AlgorithmFactory func() core.Algorithm
+
+// DefaultSessionTTL is how long an untouched session survives before the
+// sweeper closes it.
+const DefaultSessionTTL = 30 * time.Minute
+
+// session pairs a live core.Session with its bookkeeping.
+type session struct {
+	sess      *core.Session
+	lastTouch time.Time
+}
 
 // Server is the HTTP handler. Create with New and mount it anywhere (it
 // implements http.Handler).
@@ -35,21 +58,85 @@ type Server struct {
 	ds      *dataset.Dataset
 	eps     float64
 	factory AlgorithmFactory
+	log     *slog.Logger
+	reg     *obs.Registry
+	ttl     time.Duration
+	start   time.Time
+	now     func() time.Time // injectable clock for TTL tests
 
-	mu       sync.Mutex
-	sessions map[string]*core.Session
-	nextID   int
+	mu        sync.Mutex
+	sessions  map[string]*session
+	nextID    int
+	lastSweep time.Time
+
+	// Hot-path instruments, resolved once at construction.
+	inFlight  *obs.Gauge
+	active    *obs.Gauge
+	created   *obs.Counter
+	finished  *obs.Counter
+	aborted   *obs.Counter
+	evicted   *obs.Counter
+	rounds    *obs.Histogram
+	encodeErr *obs.Counter
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger sets the structured logger. Per-request lines are emitted at
+// Debug level; failures (JSON-encode errors, evictions) at Warn.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
+// WithRegistry sets the metrics registry exported at /metrics. The default
+// is obs.Default(), so library-level counters (geom LP solves, published
+// DQN stats) appear alongside the HTTP metrics.
+func WithRegistry(r *obs.Registry) Option {
+	return func(s *Server) {
+		if r != nil {
+			s.reg = r
+		}
+	}
+}
+
+// WithSessionTTL sets how long an untouched session survives before the
+// sweeper evicts it. Zero or negative disables eviction.
+func WithSessionTTL(d time.Duration) Option {
+	return func(s *Server) { s.ttl = d }
 }
 
 // New builds a server for the given (already skyline-preprocessed) dataset
 // and regret threshold.
-func New(ds *dataset.Dataset, eps float64, factory AlgorithmFactory) *Server {
-	return &Server{
+func New(ds *dataset.Dataset, eps float64, factory AlgorithmFactory, opts ...Option) *Server {
+	s := &Server{
 		ds:       ds,
 		eps:      eps,
 		factory:  factory,
-		sessions: make(map[string]*core.Session),
+		log:      slog.Default(),
+		reg:      obs.Default(),
+		ttl:      DefaultSessionTTL,
+		now:      time.Now,
+		sessions: make(map[string]*session),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.start = s.now()
+	s.lastSweep = s.start
+	s.inFlight = s.reg.Gauge("http.in_flight")
+	s.active = s.reg.Gauge("sessions.active")
+	s.created = s.reg.Counter("sessions.created")
+	s.finished = s.reg.Counter("sessions.finished")
+	s.aborted = s.reg.Counter("sessions.aborted")
+	s.evicted = s.reg.Counter("sessions.evicted")
+	s.rounds = s.reg.Histogram("sessions.rounds", obs.LinearBuckets(1, 1, 40))
+	s.encodeErr = s.reg.Counter("http.encode_errors")
+	return s
 }
 
 // questionPayload is the JSON shape of one pairwise question.
@@ -80,119 +167,292 @@ type answerPayload struct {
 	PreferFirst bool `json:"prefer_first"`
 }
 
-// ServeHTTP implements http.Handler.
+// statusWriter captures the response status for metrics and logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// ServeHTTP implements http.Handler: the instrumentation middleware wrapped
+// around the router.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := s.now()
+	s.maybeSweep(start)
+	s.inFlight.Inc()
+	defer s.inFlight.Dec()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	route := s.route(sw, r)
+	elapsedMS := float64(s.now().Sub(start)) / float64(time.Millisecond)
+	s.reg.Counter("http.requests." + route).Inc()
+	s.reg.Counter(fmt.Sprintf("http.responses.%s.%dxx", route, sw.status/100)).Inc()
+	s.reg.Histogram("http.latency_ms."+route, obs.LatencyBuckets()).Observe(elapsedMS)
+	s.log.Debug("http request",
+		"method", r.Method, "path", r.URL.Path, "route", route,
+		"status", sw.status, "ms", elapsedMS)
+}
+
+// route dispatches one request and returns the route label used for
+// metrics, so cardinality stays bounded no matter what paths clients send.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 	path := strings.Trim(r.URL.Path, "/")
 	parts := strings.Split(path, "/")
 	switch {
-	case len(parts) == 1 && parts[0] == "sessions" && r.Method == http.MethodPost:
+	case len(parts) == 1 && parts[0] == "healthz":
+		if r.Method != http.MethodGet {
+			s.methodNotAllowed(w, r, http.MethodGet)
+			return "healthz"
+		}
+		s.healthz(w)
+		return "healthz"
+	case len(parts) == 1 && parts[0] == "metrics":
+		if r.Method != http.MethodGet {
+			s.methodNotAllowed(w, r, http.MethodGet)
+			return "metrics"
+		}
+		s.metrics(w, r)
+		return "metrics"
+	case len(parts) == 1 && parts[0] == "sessions":
+		if r.Method != http.MethodPost {
+			s.methodNotAllowed(w, r, http.MethodPost)
+			return "create_session"
+		}
 		s.create(w)
+		return "create_session"
 	case len(parts) == 2 && parts[0] == "sessions":
 		switch r.Method {
 		case http.MethodGet:
 			s.state(w, parts[1])
+			return "get_session"
 		case http.MethodDelete:
 			s.abort(w, parts[1])
+			return "delete_session"
 		default:
-			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+			s.methodNotAllowed(w, r, http.MethodGet, http.MethodDelete)
+			return "get_session"
 		}
-	case len(parts) == 3 && parts[0] == "sessions" && parts[2] == "answer" && r.Method == http.MethodPost:
+	case len(parts) == 3 && parts[0] == "sessions" && parts[2] == "answer":
+		if r.Method != http.MethodPost {
+			s.methodNotAllowed(w, r, http.MethodPost)
+			return "answer"
+		}
 		s.answer(w, r, parts[1])
+		return "answer"
 	default:
-		httpError(w, http.StatusNotFound, "no route for %s %s", r.Method, r.URL.Path)
+		s.httpError(w, http.StatusNotFound, "no route for %s %s", r.Method, r.URL.Path)
+		return "other"
+	}
+}
+
+// methodNotAllowed writes a 405 with the RFC 9110-required Allow header.
+func (s *Server) methodNotAllowed(w http.ResponseWriter, r *http.Request, allowed ...string) {
+	w.Header().Set("Allow", strings.Join(allowed, ", "))
+	s.httpError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+}
+
+// healthz is the liveness probe: the process is up and the dataset loaded.
+func (s *Server) healthz(w http.ResponseWriter) {
+	s.mu.Lock()
+	active := len(s.sessions)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	s.encode(w, map[string]any{
+		"status":          "ok",
+		"uptime_s":        s.now().Sub(s.start).Seconds(),
+		"dataset_tuples":  s.ds.Len(),
+		"dataset_dim":     s.ds.Dim(),
+		"active_sessions": active,
+	})
+}
+
+// metrics exports the registry: JSON by default, expvar-style text with
+// ?format=text.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	s.reg.FloatGauge("server.uptime_s").Set(s.now().Sub(s.start).Seconds())
+	var err error
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		err = s.reg.WriteText(w)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+		err = s.reg.WriteJSON(w)
+	}
+	if err != nil {
+		s.encodeErr.Inc()
+		s.log.Warn("metrics export failed", "err", err)
 	}
 }
 
 func (s *Server) create(w http.ResponseWriter) {
+	now := s.now()
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("s%d", s.nextID)
-	sess := core.NewSession(s.factory(), s.ds, s.eps)
-	s.sessions[id] = sess
+	e := &session{sess: core.NewSession(s.factory(), s.ds, s.eps), lastTouch: now}
+	s.sessions[id] = e
+	s.active.Set(int64(len(s.sessions)))
 	s.mu.Unlock()
-	s.respondState(w, id, sess, http.StatusCreated)
+	s.created.Inc()
+	s.respondState(w, id, e, http.StatusCreated)
 }
 
-func (s *Server) lookup(id string) (*core.Session, bool) {
+// lookup fetches a session and refreshes its TTL clock.
+func (s *Server) lookup(id string) (*session, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess, ok := s.sessions[id]
-	return sess, ok
+	e, ok := s.sessions[id]
+	if ok {
+		e.lastTouch = s.now()
+	}
+	return e, ok
 }
 
 func (s *Server) state(w http.ResponseWriter, id string) {
-	sess, ok := s.lookup(id)
+	e, ok := s.lookup(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown session %q", id)
+		s.httpError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
-	s.respondState(w, id, sess, http.StatusOK)
+	s.respondState(w, id, e, http.StatusOK)
 }
 
 func (s *Server) answer(w http.ResponseWriter, r *http.Request, id string) {
-	sess, ok := s.lookup(id)
+	e, ok := s.lookup(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown session %q", id)
+		s.httpError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
 	var body answerPayload
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		httpError(w, http.StatusBadRequest, "bad answer body: %v", err)
+		s.httpError(w, http.StatusBadRequest, "bad answer body: %v", err)
 		return
 	}
 	// Ensure a question is pending (Next is idempotent for pending ones).
-	if _, _, done := sess.Next(); done {
-		httpError(w, http.StatusConflict, "session already finished")
+	if _, _, done := e.sess.Next(); done {
+		s.httpError(w, http.StatusConflict, "session already finished")
 		return
 	}
-	if err := sess.Answer(body.PreferFirst); err != nil {
-		httpError(w, http.StatusConflict, "%v", err)
+	if err := e.sess.Answer(body.PreferFirst); err != nil {
+		s.httpError(w, http.StatusConflict, "%v", err)
 		return
 	}
-	s.respondState(w, id, sess, http.StatusOK)
+	s.respondState(w, id, e, http.StatusOK)
 }
 
 func (s *Server) abort(w http.ResponseWriter, id string) {
 	s.mu.Lock()
-	sess, ok := s.sessions[id]
+	e, ok := s.sessions[id]
 	delete(s.sessions, id)
+	s.active.Set(int64(len(s.sessions)))
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown session %q", id)
+		s.httpError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
-	sess.Close()
+	e.sess.Close()
+	s.aborted.Inc()
 	w.WriteHeader(http.StatusNoContent)
 }
 
 // respondState advances to the next question (or result) and serializes it.
-func (s *Server) respondState(w http.ResponseWriter, id string, sess *core.Session, status int) {
-	pi, pj, done := sess.Next()
+func (s *Server) respondState(w http.ResponseWriter, id string, e *session, status int) {
+	pi, pj, done := e.sess.Next()
 	out := statePayload{ID: id, Done: done}
 	if done {
-		res, err := sess.Result()
+		res, err := e.sess.Result()
 		if err != nil {
 			out.Error = err.Error()
 		} else {
 			out.Result = &resultPayload{PointIndex: res.PointIndex, Point: res.Point, Rounds: res.Rounds}
 		}
 		s.mu.Lock()
+		_, present := s.sessions[id]
 		delete(s.sessions, id)
+		s.active.Set(int64(len(s.sessions)))
 		s.mu.Unlock()
+		if present {
+			s.finished.Inc()
+			if err == nil {
+				s.rounds.Observe(float64(res.Rounds))
+			}
+		}
 	} else {
 		out.Question = &questionPayload{First: pi, Second: pj, Attrs: s.ds.Attrs}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(out); err != nil {
-		// Connection-level failure; nothing further to do.
-		_ = err
+	s.encode(w, out)
+}
+
+// encode serializes v to w, logging (rather than dropping) encode errors —
+// they mean a client went away mid-response or a payload is unencodable,
+// both worth seeing in logs and metrics.
+func (s *Server) encode(w http.ResponseWriter, v any) {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.encodeErr.Inc()
+		s.log.Warn("response encode failed", "err", err)
 	}
 }
 
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+func (s *Server) httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	msg := fmt.Sprintf(format, args...)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	s.encode(w, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// Sweep evicts sessions idle past the TTL and returns how many were
+// closed. It is called lazily from the request path and may also be driven
+// by a periodic ticker (cmd/isrl-serve does) so idle servers still reclaim
+// goroutines.
+func (s *Server) Sweep() int { return s.sweepExpired(s.now()) }
+
+// maybeSweep runs an eviction pass at most every ttl/4.
+func (s *Server) maybeSweep(now time.Time) {
+	if s.ttl <= 0 {
+		return
+	}
+	s.mu.Lock()
+	due := now.Sub(s.lastSweep) >= s.ttl/4
+	if due {
+		s.lastSweep = now
+	}
+	s.mu.Unlock()
+	if due {
+		s.sweepExpired(now)
+	}
+}
+
+func (s *Server) sweepExpired(now time.Time) int {
+	if s.ttl <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	var victims []*session
+	for id, e := range s.sessions {
+		if now.Sub(e.lastTouch) > s.ttl {
+			delete(s.sessions, id)
+			victims = append(victims, e)
+		}
+	}
+	s.active.Set(int64(len(s.sessions)))
+	s.mu.Unlock()
+	for _, e := range victims {
+		e.sess.Close()
+	}
+	if len(victims) > 0 {
+		s.evicted.Add(int64(len(victims)))
+		s.log.Warn("evicted idle sessions", "count", len(victims), "ttl", s.ttl)
+	}
+	return len(victims)
 }
