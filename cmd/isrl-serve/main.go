@@ -6,7 +6,8 @@
 //
 //	isrl-serve -data car -algo ea -episodes 500 -addr :8080
 //	curl -X POST localhost:8080/sessions
-//	curl -X POST localhost:8080/sessions/s1/answer -d '{"prefer_first":true}'
+//	curl -X POST localhost:8080/sessions/s1/answer \
+//	     -H "Content-Type: application/json" -d '{"prefer_first":true}'
 //	curl localhost:8080/sessions/s1
 //	curl localhost:8080/metrics        # counters, gauges, latency quantiles
 //	curl localhost:8080/healthz        # liveness probe
@@ -41,6 +42,7 @@ import (
 	"isrl/internal/core"
 	"isrl/internal/dataset"
 	"isrl/internal/ea"
+	"isrl/internal/fault"
 	"isrl/internal/geom"
 	"isrl/internal/obs"
 	"isrl/internal/rl"
@@ -60,6 +62,9 @@ func main() {
 		episodes   = flag.Int("episodes", 500, "training episodes for ea/aa")
 		seed       = flag.Int64("seed", 1, "random seed")
 		sessionTTL = flag.Duration("session-ttl", server.DefaultSessionTTL, "evict sessions idle longer than this (0 disables)")
+		deadline   = flag.Duration("answer-deadline", server.DefaultAnswerDeadline, "max wait for the next question before 503 (0 waits forever)")
+		faultSpec  = flag.String("fault", "", "fault-injection plan, e.g. 'lp.solve:err=0.01;geom.vertices:panic=0.001' (testing only)")
+		faultSeed  = flag.Int64("fault-seed", 1, "seed for the fault-injection plan")
 		logLevel   = flag.String("log-level", "info", "debug, info, warn, error")
 		logJSON    = flag.Bool("log-json", false, "emit JSON logs instead of text")
 	)
@@ -70,6 +75,15 @@ func main() {
 		fatalf("%v", err)
 	}
 	slog.SetDefault(logger)
+
+	if *faultSpec != "" {
+		plan, err := fault.ParsePlan(*faultSpec, *faultSeed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fault.Install(plan)
+		logger.Warn("fault injection active", "plan", plan.String(), "seed", *faultSeed)
+	}
 
 	ds, err := loadData(*csvPath, *data, *n, *d, *seed)
 	if err != nil {
@@ -84,6 +98,7 @@ func main() {
 	srv := server.New(ds, *eps, factory,
 		server.WithLogger(logger),
 		server.WithSessionTTL(*sessionTTL),
+		server.WithAnswerDeadline(*deadline),
 	)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeAtomic writes data to path via a same-directory temp file and an
+// os.Rename, so a crash or SIGKILL mid-write can never leave a truncated
+// model on disk: readers observe either the previous complete checkpoint or
+// the new one, nothing in between.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once the rename has happened
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// chunkUsers splits the training vectors into checkpoint-sized chunks.
+// size <= 0 (or >= len) means a single chunk: no intermediate checkpoints.
+func chunkUsers(users [][]float64, size int) [][][]float64 {
+	if len(users) == 0 {
+		return nil
+	}
+	if size <= 0 || size >= len(users) {
+		return [][][]float64{users}
+	}
+	out := make([][][]float64, 0, (len(users)+size-1)/size)
+	for start := 0; start < len(users); start += size {
+		end := start + size
+		if end > len(users) {
+			end = len(users)
+		}
+		out = append(out, users[start:end])
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteAtomicCreatesAndOverwrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+
+	if err := writeAtomic(path, []byte("v1")); err != nil {
+		t.Fatalf("writeAtomic: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+
+	if err := writeAtomic(path, []byte("v2 longer payload")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2 longer payload" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected only the model file, found %d entries", len(entries))
+	}
+}
+
+func TestWriteAtomicKeepsOldFileOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+	if err := writeAtomic(path, []byte("good")); err != nil {
+		t.Fatalf("writeAtomic: %v", err)
+	}
+	// A path in a missing directory fails before touching the old file.
+	bad := filepath.Join(dir, "nope", "model.bin")
+	if err := writeAtomic(bad, []byte("x")); err == nil {
+		t.Fatal("expected error writing into missing directory")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "good" {
+		t.Fatalf("old checkpoint damaged: %q, %v", got, err)
+	}
+}
+
+func TestChunkUsers(t *testing.T) {
+	mk := func(n int) [][]float64 {
+		us := make([][]float64, n)
+		for i := range us {
+			us[i] = []float64{float64(i)}
+		}
+		return us
+	}
+	cases := []struct {
+		n, size int
+		want    []int // chunk lengths
+	}{
+		{0, 10, nil},
+		{5, 0, []int{5}},
+		{5, 10, []int{5}},
+		{5, 5, []int{5}},
+		{7, 3, []int{3, 3, 1}},
+		{6, 2, []int{2, 2, 2}},
+	}
+	for _, c := range cases {
+		users := mk(c.n)
+		chunks := chunkUsers(users, c.size)
+		if len(chunks) != len(c.want) {
+			t.Fatalf("n=%d size=%d: %d chunks, want %d", c.n, c.size, len(chunks), len(c.want))
+		}
+		var flat [][]float64
+		for i, ch := range chunks {
+			if len(ch) != c.want[i] {
+				t.Fatalf("n=%d size=%d chunk %d: len %d, want %d", c.n, c.size, i, len(ch), c.want[i])
+			}
+			flat = append(flat, ch...)
+		}
+		// Order and content preserved end to end.
+		for i := range flat {
+			if !bytes.Equal([]byte{byte(i)}, []byte{byte(int(flat[i][0]))}) {
+				t.Fatalf("n=%d size=%d: element %d reordered", c.n, c.size, i)
+			}
+		}
+	}
+}

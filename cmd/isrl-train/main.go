@@ -9,9 +9,15 @@
 //
 // The dataset is regenerated from the same -seed at inference time
 // (cmd/isrl does this), or supply -csv on both sides.
+//
+// Long runs can checkpoint: -checkpoint-every N atomically rewrites -out
+// every N episodes (temp file + rename, so a crash never truncates a saved
+// model), and -resume picks the weights back up from -out to continue
+// training after an interruption.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -22,6 +28,7 @@ import (
 	"isrl/internal/dataset"
 	"isrl/internal/ea"
 	"isrl/internal/geom"
+	"isrl/internal/rl"
 )
 
 func main() {
@@ -35,6 +42,8 @@ func main() {
 		episodes = flag.Int("episodes", 1000, "training utility vectors (paper: 10000)")
 		seed     = flag.Int64("seed", 1, "random seed (dataset + training)")
 		out      = flag.String("out", "", "output model path (required)")
+		resume   = flag.Bool("resume", false, "continue training from the model at -out when it exists")
+		ckpEvery = flag.Int("checkpoint-every", 0, "atomically checkpoint -out every N episodes (0 = only at the end)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -47,6 +56,21 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "dataset: %d skyline tuples, d=%d\n", ds.Len(), ds.Dim())
 
+	var resumeBlob []byte
+	if *resume {
+		blob, err := os.ReadFile(*out)
+		switch {
+		case err == nil:
+			resumeBlob = blob
+			fmt.Fprintf(os.Stderr, "resuming from %s (%d bytes)\n", *out, len(blob))
+		case errors.Is(err, os.ErrNotExist):
+			// Crashed before the first checkpoint landed: start fresh.
+			fmt.Fprintf(os.Stderr, "resume: no checkpoint at %s, starting fresh\n", *out)
+		default:
+			fatalf("resume: %v", err)
+		}
+	}
+
 	rng := rand.New(rand.NewSource(*seed))
 	users := make([][]float64, *episodes)
 	for i := range users {
@@ -54,43 +78,89 @@ func main() {
 	}
 
 	start := time.Now()
-	var blob []byte
+	var (
+		trainChunk func([][]float64) error
+		marshal    func() ([]byte, error)
+	)
 	switch *algo {
 	case "ea":
-		e := ea.New(ds, *eps, ea.Config{}, rng)
-		stats, err := e.Train(users)
-		if err != nil {
-			fatalf("train: %v", err)
+		var e *ea.EA
+		if resumeBlob != nil {
+			if e, err = ea.Load(ds, *eps, ea.Config{}, resumeBlob, rng); err != nil {
+				fatalf("resume: %v", err)
+			}
+		} else {
+			e = ea.New(ds, *eps, ea.Config{}, rng)
 		}
-		fmt.Fprintf(os.Stderr, "EA trained: %d episodes, avg %.1f rounds, %v\n",
-			stats.Episodes, stats.AvgRounds, time.Since(start).Round(time.Millisecond))
-		fmt.Fprintf(os.Stderr, "  dqn: %d updates, %d target syncs, loss ema %.5f, replay %d/%d, final eps %.3f\n",
-			stats.RL.Updates, stats.RL.TargetSyncs, stats.RL.LossEMA,
-			stats.RL.ReplaySize, stats.RL.ReplayCap, stats.RL.Epsilon)
-		if blob, err = e.Agent().MarshalBinary(); err != nil {
-			fatalf("serialize: %v", err)
+		trainChunk = func(chunk [][]float64) error {
+			stats, err := e.Train(chunk)
+			if err != nil {
+				return err
+			}
+			reportStats("EA", stats.Episodes, stats.AvgRounds, stats.RL, start)
+			return nil
 		}
+		marshal = func() ([]byte, error) { return e.Agent().MarshalBinary() }
 	case "aa":
-		a := aa.New(ds, *eps, aa.Config{}, rng)
-		stats, err := a.Train(users)
-		if err != nil {
-			fatalf("train: %v", err)
+		var a *aa.AA
+		if resumeBlob != nil {
+			if a, err = aa.Load(ds, *eps, aa.Config{}, resumeBlob, rng); err != nil {
+				fatalf("resume: %v", err)
+			}
+		} else {
+			a = aa.New(ds, *eps, aa.Config{}, rng)
 		}
-		fmt.Fprintf(os.Stderr, "AA trained: %d episodes, avg %.1f rounds, %v\n",
-			stats.Episodes, stats.AvgRounds, time.Since(start).Round(time.Millisecond))
-		fmt.Fprintf(os.Stderr, "  dqn: %d updates, %d target syncs, loss ema %.5f, replay %d/%d, final eps %.3f\n",
-			stats.RL.Updates, stats.RL.TargetSyncs, stats.RL.LossEMA,
-			stats.RL.ReplaySize, stats.RL.ReplayCap, stats.RL.Epsilon)
-		if blob, err = a.Agent().MarshalBinary(); err != nil {
-			fatalf("serialize: %v", err)
+		trainChunk = func(chunk [][]float64) error {
+			stats, err := a.Train(chunk)
+			if err != nil {
+				return err
+			}
+			reportStats("AA", stats.Episodes, stats.AvgRounds, stats.RL, start)
+			return nil
 		}
+		marshal = func() ([]byte, error) { return a.Agent().MarshalBinary() }
 	default:
 		fatalf("unknown -algo %q (ea or aa)", *algo)
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		fatalf("write %s: %v", *out, err)
+
+	// Each chunk ends with an atomic rewrite of -out, so an interrupted run
+	// loses at most -checkpoint-every episodes. Note the DQN ε-greedy anneal
+	// restarts per Train call, so chunked runs re-explore briefly after each
+	// checkpoint — harmless for the small chunk counts this flag is for.
+	var blob []byte
+	trained := 0
+	for _, chunk := range chunkUsers(users, *ckpEvery) {
+		if err := trainChunk(chunk); err != nil {
+			fatalf("train: %v", err)
+		}
+		trained += len(chunk)
+		if blob, err = marshal(); err != nil {
+			fatalf("serialize: %v", err)
+		}
+		if err := writeAtomic(*out, blob); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		if trained < len(users) {
+			fmt.Fprintf(os.Stderr, "checkpoint: %d/%d episodes -> %s\n", trained, len(users), *out)
+		}
+	}
+	if blob == nil { // -episodes 0: still save the (possibly resumed) model
+		if blob, err = marshal(); err != nil {
+			fatalf("serialize: %v", err)
+		}
+		if err := writeAtomic(*out, blob); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "model saved to %s (%d bytes)\n", *out, len(blob))
+}
+
+// reportStats prints one training summary block to stderr.
+func reportStats(name string, episodes int, avgRounds float64, st rl.TrainStats, start time.Time) {
+	fmt.Fprintf(os.Stderr, "%s trained: %d episodes, avg %.1f rounds, %v\n",
+		name, episodes, avgRounds, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "  dqn: %d updates, %d target syncs, loss ema %.5f, replay %d/%d, final eps %.3f\n",
+		st.Updates, st.TargetSyncs, st.LossEMA, st.ReplaySize, st.ReplayCap, st.Epsilon)
 }
 
 // loadData builds the skyline-preprocessed training dataset.

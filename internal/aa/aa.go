@@ -9,6 +9,7 @@
 package aa
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -138,6 +139,8 @@ type round struct {
 	mid      []float64 // outer-rectangle midpoint (the return vector)
 	actions  []action
 	terminal bool
+	degraded bool   // terminal without the Lemma-9 stop (range collapsed)
+	reason   string // why, when degraded
 }
 
 // computeRound derives AA's MDP view from the halfspace set: the inner
@@ -155,7 +158,10 @@ func (a *AA) computeRound(poly *geom.Polytope, eps float64) (*round, error) {
 	if err != nil {
 		// Empty range (noisy users): stop at the centroid.
 		c := geom.SimplexCentroid(d)
-		return &round{terminal: true, center: c, mid: c}, nil
+		return &round{
+			terminal: true, center: c, mid: c,
+			degraded: true, reason: "utility range empty (contradictory answers)",
+		}, nil
 	}
 	emin, emax, err := poly.OuterRect()
 	if err != nil {
@@ -395,21 +401,50 @@ func feats(actions []action) [][]float64 {
 	return fs
 }
 
+// safeRound is computeRound behind a panic-containment boundary: a panic in
+// the LP machinery (degenerate tableau, injected fault) surfaces as an error
+// the serving path can degrade on instead of a dead process.
+func (a *AA) safeRound(poly *geom.Polytope, eps float64) (r *round, err error) {
+	if perr := core.Guard(func() { r, err = a.computeRound(poly, eps) }); perr != nil {
+		return nil, perr
+	}
+	return r, err
+}
+
 // Run implements core.Algorithm (Algorithm 4: inference). It returns the
 // point with the highest utility w.r.t. the outer-rectangle midpoint once
 // the stopping condition of Lemma 9 holds.
+//
+// Serving is fault-tolerant, with the same contract as EA: per-round
+// geometry failures and ranges emptied by contradictory answers end the
+// session with a best-effort Degraded result scored against the last healthy
+// inner-sphere center; only a dataset mismatch is still an error.
 func (a *AA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Observer) (core.Result, error) {
 	if ds != a.ds && (ds.Len() != a.ds.Len() || ds.Dim() != a.ds.Dim()) {
 		return core.Result{}, core.ErrDatasetMismatch
 	}
 	poly := geom.NewPolytope(a.ds.Dim())
-	cur, err := a.computeRound(poly, eps)
-	if err != nil {
-		return core.Result{}, err
-	}
+	var lastCenter []float64
 	var trace []core.QA
-	rounds := 0
+	rounds, recovered := 0, 0
+	degrade := func(reason string) (core.Result, error) {
+		res := core.BestEffortResult(a.ds, lastCenter, rounds, trace, reason)
+		res.PanicsRecovered = recovered
+		return res, nil
+	}
+	fail := func(err error) (core.Result, error) {
+		var pe *core.PanicError
+		if errors.As(err, &pe) {
+			recovered++
+		}
+		return degrade(err.Error())
+	}
+	cur, err := a.safeRound(poly, eps)
+	if err != nil {
+		return fail(err)
+	}
 	for !cur.terminal && rounds < a.cfg.MaxRounds {
+		lastCenter = cur.center
 		ai := a.agent.Best(cur.state, feats(cur.actions))
 		act := cur.actions[ai]
 		pi, pj := a.ds.Points[act.I], a.ds.Points[act.J]
@@ -425,15 +460,22 @@ func (a *AA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Obse
 		if obs != nil {
 			obs.Round(rounds, poly.Halfspaces)
 		}
-		if cur, err = a.computeRound(poly, eps); err != nil {
-			return core.Result{}, err
+		if cur, err = a.safeRound(poly, eps); err != nil {
+			return fail(err)
 		}
+	}
+	if cur.degraded {
+		return degrade(cur.reason)
+	}
+	if !cur.terminal && rounds >= a.cfg.MaxRounds {
+		return degrade("round cap reached without the Lemma-9 stop")
 	}
 	idx := a.ds.TopPoint(cur.mid)
 	return core.Result{
-		PointIndex: idx,
-		Point:      a.ds.Points[idx],
-		Rounds:     rounds,
-		Trace:      trace,
+		PointIndex:      idx,
+		Point:           a.ds.Points[idx],
+		Rounds:          rounds,
+		Trace:           trace,
+		PanicsRecovered: recovered,
 	}, nil
 }

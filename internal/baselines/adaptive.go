@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -58,13 +59,16 @@ func (a *Adaptive) Run(ds *dataset.Dataset, user core.User, eps float64, obs cor
 	poly := geom.NewPolytope(d)
 	var trace []core.QA
 	rounds := 0
+	degReason := ""
 	for rounds < a.cfg.MaxRounds {
 		ball, err := poly.InnerBall()
 		if err != nil {
-			break // degenerate region under noisy answers
+			degReason = "utility range empty (contradictory answers)"
+			break
 		}
 		emin, emax, err := poly.OuterRect()
 		if err != nil {
+			degReason = fmt.Sprintf("outer rectangle failed: %v", err)
 			break
 		}
 		// Stop only when the utility vector itself is localized: every
@@ -96,6 +100,9 @@ func (a *Adaptive) Run(ds *dataset.Dataset, user core.User, eps float64, obs cor
 	center := geom.SimplexCentroid(d)
 	if ball, err := poly.InnerBall(); err == nil {
 		center = ball.Center
+	}
+	if degReason != "" {
+		return core.BestEffortResult(ds, center, rounds, trace, degReason), nil
 	}
 	idx := ds.TopPoint(center)
 	return core.Result{PointIndex: idx, Point: ds.Points[idx], Rounds: rounds, Trace: trace}, nil

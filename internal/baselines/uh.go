@@ -129,13 +129,18 @@ func runUH(ds *dataset.Dataset, user core.User, eps float64, obs core.Observer, 
 	}
 	var trace []core.QA
 	rounds := 0
+	degReason := ""
 	for rounds < cfg.MaxRounds {
 		verts, err := poly.Vertices()
 		if err != nil {
-			return core.Result{}, fmt.Errorf("baselines: uh: %w", err)
+			// Exhausted vertex budget or injected fault: degrade rather than
+			// fail the whole session (core's shared contract).
+			degReason = fmt.Sprintf("vertex enumeration failed: %v", err)
+			break
 		}
 		if len(verts) == 0 {
-			break // degenerate range (noisy answers)
+			degReason = "utility range empty (contradictory answers)"
+			break
 		}
 		if idx := core.StoppablePoint(ds, verts, eps); idx >= 0 {
 			return core.Result{PointIndex: idx, Point: ds.Points[idx], Rounds: rounds, Trace: trace}, nil
@@ -163,10 +168,16 @@ func runUH(ds *dataset.Dataset, user core.User, eps float64, obs core.Observer, 
 			obs.Round(rounds, poly.Halfspaces)
 		}
 	}
+	if rounds >= cfg.MaxRounds && degReason == "" {
+		degReason = "round cap reached without ε-certificate"
+	}
 	// Fallback: best point at the inner-ball center.
 	center := geom.SimplexCentroid(d)
 	if ball, err := poly.InnerBall(); err == nil {
 		center = ball.Center
+	}
+	if degReason != "" {
+		return core.BestEffortResult(ds, center, rounds, trace, degReason), nil
 	}
 	idx := ds.TopPoint(center)
 	return core.Result{PointIndex: idx, Point: ds.Points[idx], Rounds: rounds, Trace: trace}, nil

@@ -16,6 +16,7 @@ import (
 
 	"isrl/internal/dataset"
 	"isrl/internal/geom"
+	"isrl/internal/obs"
 	"isrl/internal/vec"
 )
 
@@ -122,11 +123,23 @@ type QA struct {
 }
 
 // Result is an algorithm's outcome.
+//
+// Degraded results are the graceful-degradation contract shared by every
+// algorithm: when contradictory (noisy) answers empty the utility range, or
+// a numeric fault aborts a round, the algorithm still returns its best
+// available tuple — scored against the last non-empty utility range it saw —
+// with Degraded set instead of failing the whole session. Callers that need
+// the ε-guarantee must check Degraded; callers that just need an answer (a
+// web session with a real, fallible user) can use the point as-is.
 type Result struct {
 	PointIndex int       // index of the returned tuple
 	Point      []float64 // the returned tuple
 	Rounds     int       // number of questions asked
 	Trace      []QA      // the full question/answer transcript
+
+	Degraded        bool   // best-effort result; the ε-certificate does not hold
+	DegradedReason  string // why the session degraded (empty range, numeric fault, ...)
+	PanicsRecovered int    // panics contained by per-round Guard boundaries during the run
 }
 
 // Observer receives a snapshot after every interactive round: the round
@@ -157,6 +170,29 @@ type Algorithm interface {
 // ErrDatasetMismatch is returned when a trained algorithm is run against a
 // dataset other than the one it was trained on.
 var ErrDatasetMismatch = fmt.Errorf("core: dataset differs from the training dataset")
+
+// degradedSessions counts best-effort terminations across every algorithm.
+var degradedSessions = obs.Default().Counter("core.sessions_degraded")
+
+// BestEffortResult implements the shared degradation contract: score the
+// dataset at center — the last utility estimate that was still backed by a
+// non-empty range — and return its top point as a Degraded result. A nil
+// center falls back to the simplex centroid, the zero-information prior.
+func BestEffortResult(ds *dataset.Dataset, center []float64, rounds int, trace []QA, reason string) Result {
+	if center == nil {
+		center = geom.SimplexCentroid(ds.Dim())
+	}
+	degradedSessions.Inc()
+	idx := ds.TopPoint(center)
+	return Result{
+		PointIndex:     idx,
+		Point:          ds.Points[idx],
+		Rounds:         rounds,
+		Trace:          trace,
+		Degraded:       true,
+		DegradedReason: reason,
+	}
+}
 
 // StoppablePoint implements the paper's terminal test (Lemma 4 + Lemma 6 via
 // convexity): given the extreme utility vectors E of the current utility

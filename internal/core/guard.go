@@ -1,0 +1,49 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"isrl/internal/obs"
+)
+
+// panicsRecovered counts every panic converted into an error by a session
+// boundary or a Guard call — the library-level twin of the server's
+// server.panics_recovered. A nonzero value in /metrics means the numeric
+// substrate hit a degenerate case that would previously have killed the
+// process.
+var panicsRecovered = obs.Default().Counter("core.panics_recovered")
+
+// PanicError is a panic converted into an error at a containment boundary
+// (the session goroutine, or an algorithm's per-round Guard). Value is the
+// original panic payload and Stack the goroutine stack captured at recovery,
+// so the defect stays diagnosable even though the process survived.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error. The stack is deliberately excluded — it belongs in
+// logs, not in one-line error chains or HTTP payloads.
+func (e *PanicError) Error() string { return fmt.Sprintf("core: recovered panic: %v", e.Value) }
+
+// Guard runs fn, converting a panic into a *PanicError so one degenerate
+// geometry round cannot kill the process. Session-abort panics (the
+// controlled unwind used by Close) are passed through untouched — they are
+// flow control, not failures.
+func Guard(fn func()) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if e, ok := r.(error); ok && errors.Is(e, errSessionAborted) {
+			panic(r) // keep unwinding to the session boundary
+		}
+		panicsRecovered.Inc()
+		err = &PanicError{Value: r, Stack: debug.Stack()}
+	}()
+	fn()
+	return nil
+}

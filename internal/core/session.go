@@ -3,8 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
 
 	"isrl/internal/dataset"
+	"isrl/internal/fault"
 )
 
 // Session inverts control of an interactive search: instead of the
@@ -22,12 +26,13 @@ type Session struct {
 	answers   chan bool
 	finished  chan struct{}
 
-	result  Result
-	err     error
-	lastQ   [2][]float64 // question delivered by Next, awaiting Answer
-	pending bool         // a question was delivered and awaits Answer
-	done    bool
-	closed  chan struct{}
+	result    Result
+	err       error
+	lastQ     [2][]float64 // question delivered by Next, awaiting Answer
+	pending   bool         // a question was delivered and awaits Answer
+	done      bool
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // ErrSessionClosed is returned by Result when the session was aborted.
@@ -54,7 +59,13 @@ func NewSession(alg Algorithm, ds *dataset.Dataset, eps float64) *Session {
 					s.err = ErrSessionClosed
 					return
 				}
-				panic(r) // a real bug; do not swallow it
+				// A panic that escaped the algorithm (degenerate geometry,
+				// injected fault, plain bug). Killing the process over one
+				// session is the wrong trade in a server with thousands of
+				// them: contain it as the session's error, stack attached
+				// for diagnosis, and count it.
+				panicsRecovered.Inc()
+				s.err = &PanicError{Value: r, Stack: debug.Stack()}
 			}
 		}()
 		res, err := alg.Run(ds, sessionUser{s}, eps, nil)
@@ -70,6 +81,12 @@ type sessionUser struct{ s *Session }
 // Prefer implements User. It blocks until the application answers, and
 // unwinds the algorithm goroutine when the session is closed.
 func (u sessionUser) Prefer(pi, pj []float64) bool {
+	// Chaos hook: injected latency models a slow user, an injected error or
+	// panic a broken one. Prefer has no error channel, so injected errors
+	// escalate to a panic contained at the session boundary.
+	if err := fault.Hit(fault.PointOracle); err != nil {
+		panic(err)
+	}
 	select {
 	case u.s.questions <- [2][]float64{pi, pj}:
 	case <-u.s.closed:
@@ -101,6 +118,37 @@ func (s *Session) Next() (pi, pj []float64, done bool) {
 	case <-s.finished:
 		s.done = true
 		return nil, nil, true
+	}
+}
+
+// NextTimeout is Next with a deadline: ok reports whether a definitive state
+// (a question, or completion) was reached within d. On ok=false the session
+// is unchanged — the algorithm is still computing (a degenerate LP, an
+// injected stall) — and the caller may retry or give up without corrupting
+// the protocol. d <= 0 means no deadline (identical to Next).
+func (s *Session) NextTimeout(d time.Duration) (pi, pj []float64, done, ok bool) {
+	if d <= 0 {
+		pi, pj, done = s.Next()
+		return pi, pj, done, true
+	}
+	if s.done {
+		return nil, nil, true, true
+	}
+	if s.pending {
+		return s.lastQ[0], s.lastQ[1], false, true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case q := <-s.questions:
+		s.lastQ = q
+		s.pending = true
+		return q[0], q[1], false, true
+	case <-s.finished:
+		s.done = true
+		return nil, nil, true, true
+	case <-timer.C:
+		return nil, nil, false, false
 	}
 }
 
@@ -136,13 +184,11 @@ func (s *Session) Result() (Result, error) {
 }
 
 // Close aborts the session; subsequent Result calls return
-// ErrSessionClosed. Closing a finished session is a no-op.
+// ErrSessionClosed. Closing a finished session is a no-op. Unlike the rest
+// of the Session API, Close touches no protocol state and is safe to call
+// from any goroutine at any time (the server's TTL sweeper closes sessions
+// that a request handler may still be driving).
 func (s *Session) Close() {
-	select {
-	case <-s.closed:
-	default:
-		close(s.closed)
-	}
+	s.closeOnce.Do(func() { close(s.closed) })
 	<-s.finished
-	s.done = true
 }

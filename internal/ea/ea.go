@@ -7,6 +7,7 @@
 package ea
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -142,7 +143,9 @@ type round struct {
 	state    []float64
 	actions  []action
 	terminal bool
-	stopIdx  int // certified point when terminal (or best-effort fallback)
+	stopIdx  int    // certified point when terminal (or best-effort fallback)
+	degraded bool   // terminal without an ε-certificate (range collapsed)
+	reason   string // why, when degraded
 }
 
 // computeRound derives the MDP view of the current utility range: the
@@ -167,6 +170,8 @@ func (e *EA) computeRound(poly *geom.Polytope, eps float64) (*round, error) {
 		// Degenerate range (numerically empty — possible under noisy
 		// answers). Terminate with the best point at the inner center.
 		r.terminal = true
+		r.degraded = true
+		r.reason = "utility range empty (contradictory answers)"
 		r.stopIdx = e.fallbackPoint(poly)
 		r.state = e.encodeState(nil, geom.Ball{Center: make([]float64, poly.Dim)})
 		return r, nil
@@ -305,6 +310,28 @@ func (e *EA) fallbackPoint(poly *geom.Polytope) int {
 	return e.ds.TopPoint(center)
 }
 
+// safeRound is computeRound behind a panic-containment boundary: a panic in
+// the LP/vertex machinery (degenerate polytope, injected fault) surfaces as
+// an error the serving path can degrade on instead of a dead process.
+func (e *EA) safeRound(poly *geom.Polytope, eps float64) (r *round, err error) {
+	if perr := core.Guard(func() { r, err = e.computeRound(poly, eps) }); perr != nil {
+		return nil, perr
+	}
+	return r, err
+}
+
+// vertexCentroid is the mean of the extreme vectors — a cheap interior
+// estimate of R recorded every healthy round so a degraded termination can
+// still score the dataset against the last non-empty range.
+func vertexCentroid(verts [][]float64) []float64 {
+	c := make([]float64, len(verts[0]))
+	for _, v := range verts {
+		vec.Add(c, c, v)
+	}
+	vec.Scale(c, 1/float64(len(verts)), c)
+	return c
+}
+
 // TrainStats summarizes a training run.
 type TrainStats struct {
 	Episodes   int
@@ -437,6 +464,13 @@ func feats(actions []action) [][]float64 {
 
 // Run implements core.Algorithm (Algorithm 2: inference). The dataset must
 // be the one the agent was trained on.
+//
+// Serving is fault-tolerant: a panic or error inside the per-round geometry
+// (degenerate polytope, exhausted vertex budget, injected fault) and a
+// utility range emptied by contradictory answers both end the session with a
+// best-effort Degraded result — scored against the last non-empty range —
+// instead of an error or a dead process. Only a dataset mismatch, which is a
+// caller bug, still fails outright.
 func (e *EA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Observer) (core.Result, error) {
 	if ds != e.ds && (ds.Len() != e.ds.Len() || ds.Dim() != e.ds.Dim()) {
 		return core.Result{}, core.ErrDatasetMismatch
@@ -446,13 +480,29 @@ func (e *EA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Obse
 	defer func() { e.eps = savedEps }()
 
 	poly := geom.NewPolytope(e.ds.Dim())
-	cur, err := e.computeRound(poly, eps)
-	if err != nil {
-		return core.Result{}, err
-	}
+	var lastCenter []float64
 	var trace []core.QA
-	rounds := 0
+	rounds, recovered := 0, 0
+	degrade := func(reason string) (core.Result, error) {
+		res := core.BestEffortResult(e.ds, lastCenter, rounds, trace, reason)
+		res.PanicsRecovered = recovered
+		return res, nil
+	}
+	fail := func(err error) (core.Result, error) {
+		var pe *core.PanicError
+		if errors.As(err, &pe) {
+			recovered++
+		}
+		return degrade(err.Error())
+	}
+	cur, err := e.safeRound(poly, eps)
+	if err != nil {
+		return fail(err)
+	}
 	for !cur.terminal && rounds < e.cfg.MaxRounds {
+		if len(cur.verts) > 0 {
+			lastCenter = vertexCentroid(cur.verts)
+		}
 		if len(cur.actions) == 0 {
 			break
 		}
@@ -471,18 +521,25 @@ func (e *EA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Obse
 		if obs != nil {
 			obs.Round(rounds, poly.Halfspaces)
 		}
-		if cur, err = e.computeRound(poly, eps); err != nil {
-			return core.Result{}, err
+		if cur, err = e.safeRound(poly, eps); err != nil {
+			return fail(err)
 		}
+	}
+	if cur.degraded {
+		return degrade(cur.reason)
+	}
+	if !cur.terminal && rounds >= e.cfg.MaxRounds {
+		return degrade("round cap reached without ε-certificate")
 	}
 	idx := cur.stopIdx
 	if idx < 0 {
 		idx = e.fallbackPoint(poly)
 	}
 	return core.Result{
-		PointIndex: idx,
-		Point:      e.ds.Points[idx],
-		Rounds:     rounds,
-		Trace:      trace,
+		PointIndex:      idx,
+		Point:           e.ds.Points[idx],
+		Rounds:          rounds,
+		Trace:           trace,
+		PanicsRecovered: recovered,
 	}, nil
 }

@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHitNoPlanInstalled(t *testing.T) {
+	Install(nil)
+	for i := 0; i < 1000; i++ {
+		if err := Hit(PointLPSolve); err != nil {
+			t.Fatalf("uninstalled Hit returned %v", err)
+		}
+	}
+}
+
+func TestFaultErrorInjectionRate(t *testing.T) {
+	p := NewPlan(7).Set("x", Spec{ErrProb: 0.3})
+	errs := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := p.hit("x"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error %v does not wrap ErrInjected", err)
+			}
+			errs++
+		}
+	}
+	if rate := float64(errs) / n; rate < 0.25 || rate > 0.35 {
+		t.Errorf("injection rate %.3f far from 0.3", rate)
+	}
+	if p.Hits("x") != n {
+		t.Errorf("hits = %d, want %d", p.Hits("x"), n)
+	}
+	if p.Injections("x") != errs {
+		t.Errorf("injections = %d, want %d", p.Injections("x"), errs)
+	}
+}
+
+// Same seed, same sequence — the property chaos tests rely on.
+func TestFaultDeterministicReplay(t *testing.T) {
+	run := func() []bool {
+		p := NewPlan(42).Set("x", Spec{ErrProb: 0.5})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = p.hit("x") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at hit %d", i)
+		}
+	}
+}
+
+func TestFaultPanicInjection(t *testing.T) {
+	p := NewPlan(1).Set("x", Spec{PanicProb: 1})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected injected panic")
+		}
+		if !strings.Contains(r.(string), `injected panic at "x"`) {
+			t.Errorf("panic value %v", r)
+		}
+	}()
+	_ = p.hit("x")
+}
+
+func TestFaultAfterArming(t *testing.T) {
+	p := NewPlan(1).Set("x", Spec{ErrProb: 1, After: 3})
+	for i := 0; i < 3; i++ {
+		if err := p.hit("x"); err != nil {
+			t.Fatalf("hit %d injected before arming", i)
+		}
+	}
+	if err := p.hit("x"); err == nil {
+		t.Fatal("armed hit must inject with ErrProb 1")
+	}
+}
+
+func TestFaultLatency(t *testing.T) {
+	p := NewPlan(1).Set("x", Spec{Latency: 30 * time.Millisecond})
+	start := time.Now()
+	if err := p.hit("x"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("latency injection slept only %v", d)
+	}
+}
+
+func TestFaultCustomErrorPayload(t *testing.T) {
+	custom := errors.New("disk on fire")
+	p := NewPlan(1).Set("x", Spec{ErrProb: 1, Err: custom})
+	if err := p.hit("x"); !errors.Is(err, custom) {
+		t.Errorf("err = %v, want custom payload", err)
+	}
+}
+
+func TestFaultUnconfiguredPointFree(t *testing.T) {
+	p := NewPlan(3).Set("x", Spec{ErrProb: 0.5})
+	// Hammering an unconfigured point must not consume randomness: the
+	// configured point's sequence stays identical to a plan without the noise.
+	q := NewPlan(3).Set("x", Spec{ErrProb: 0.5})
+	for i := 0; i < 100; i++ {
+		_ = p.hit("unrelated")
+		a, b := p.hit("x") != nil, q.hit("x") != nil
+		if a != b {
+			t.Fatalf("unconfigured point perturbed the sequence at hit %d", i)
+		}
+	}
+}
+
+func TestInstallHitRoundTrip(t *testing.T) {
+	p := NewPlan(5).Set(PointVertices, Spec{ErrProb: 1})
+	Install(p)
+	defer Install(nil)
+	if err := Hit(PointVertices); !errors.Is(err, ErrInjected) {
+		t.Errorf("installed plan did not inject: %v", err)
+	}
+	if Installed() != p {
+		t.Error("Installed() did not return the active plan")
+	}
+	Install(nil)
+	if err := Hit(PointVertices); err != nil {
+		t.Errorf("Hit after uninstall injected: %v", err)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("lp.solve:err=0.25,after=2; geom.vertices:panic=0.5,lat=10ms", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, want := range []string{"lp.solve{err=0.25", "after=2", "geom.vertices{", "panic=0.5", "lat=10ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan %q missing %q", s, want)
+		}
+	}
+	for _, bad := range []string{"noval", "p:frob=1", "p:err=x", ":err=1"} {
+		if _, err := ParsePlan(bad, 1); err == nil {
+			t.Errorf("ParsePlan(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+type constUser bool
+
+func (c constUser) Prefer(pi, pj []float64) bool { return bool(c) }
+
+func TestNoisyUserFlipRate(t *testing.T) {
+	u := NewNoisyUser(constUser(true), 0.2, 11)
+	flipped := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if !u.Prefer(nil, nil) {
+			flipped++
+		}
+	}
+	if rate := float64(flipped) / n; rate < 0.15 || rate > 0.25 {
+		t.Errorf("flip rate %.3f far from 0.2", rate)
+	}
+	if u.Flips() != flipped {
+		t.Errorf("Flips() = %d, observed %d", u.Flips(), flipped)
+	}
+	if u.Asks() != n {
+		t.Errorf("Asks() = %d, want %d", u.Asks(), n)
+	}
+}
+
+func TestNoisyUserDeterministic(t *testing.T) {
+	a, b := NewNoisyUser(constUser(true), 0.5, 3), NewNoisyUser(constUser(true), 0.5, 3)
+	for i := 0; i < 200; i++ {
+		if a.Prefer(nil, nil) != b.Prefer(nil, nil) {
+			t.Fatalf("noisy sequences diverged at ask %d", i)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package fault
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// User mirrors core.User structurally so the harness can wrap any oracle
+// without importing core (core threads fault hooks, so the dependency must
+// point this way).
+type User interface {
+	Prefer(pi, pj []float64) bool
+}
+
+// NoisyUser wraps any oracle and flips each answer independently with
+// probability FlipProb, drawing from its own seeded source — the adversarial
+// counterpart of core.NoisyUser (which needs the hidden utility vector).
+// Wrapping a live session oracle with it simulates the paper's future-work
+// setting where real users err in pairwise choices. Safe for concurrent use.
+type NoisyUser struct {
+	Inner    User
+	FlipProb float64
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	flips int
+	asks  int
+}
+
+// NewNoisyUser wraps inner, flipping answers with probability flipProb under
+// the given seed.
+func NewNoisyUser(inner User, flipProb float64, seed int64) *NoisyUser {
+	return &NoisyUser{Inner: inner, FlipProb: flipProb, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Prefer implements the oracle: the inner answer, possibly inverted.
+func (u *NoisyUser) Prefer(pi, pj []float64) bool {
+	ans := u.Inner.Prefer(pi, pj)
+	u.mu.Lock()
+	u.asks++
+	flip := u.rng.Float64() < u.FlipProb
+	if flip {
+		u.flips++
+	}
+	u.mu.Unlock()
+	if flip {
+		return !ans
+	}
+	return ans
+}
+
+// Flips returns how many answers were inverted so far.
+func (u *NoisyUser) Flips() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.flips
+}
+
+// Asks returns how many questions were answered so far.
+func (u *NoisyUser) Asks() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.asks
+}

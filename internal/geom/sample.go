@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"isrl/internal/fault"
 	"isrl/internal/vec"
 )
 
@@ -40,6 +41,9 @@ type SampleOptions struct {
 func (p *Polytope) Sample(rng *rand.Rand, n int, opts SampleOptions) ([][]float64, error) {
 	sampleCalls.Inc()
 	samplePoints.Add(int64(n))
+	if err := fault.Hit(fault.PointSample); err != nil {
+		return nil, fmt.Errorf("geom: sample: %w", err)
+	}
 	d := p.Dim
 	ib, err := p.InnerBall()
 	if err != nil {

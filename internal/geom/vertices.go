@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"isrl/internal/fault"
 	"isrl/internal/vec"
 )
 
@@ -30,6 +31,9 @@ func (p *Polytope) Vertices() ([][]float64, error) {
 		return p.verts, nil
 	}
 	vertexEnums.Inc()
+	if err := fault.Hit(fault.PointVertices); err != nil {
+		return nil, fmt.Errorf("geom: vertices: %w", err)
+	}
 	d := p.Dim
 	// Constraint pool as normals of hyperplanes through the origin.
 	pool := make([][]float64, 0, d+len(p.Halfspaces))

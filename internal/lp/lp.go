@@ -15,6 +15,8 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"isrl/internal/fault"
 )
 
 // Sense is the relation of a constraint row to its right-hand side.
@@ -115,6 +117,12 @@ const (
 
 // Solve solves the linear program. It never modifies p.
 func Solve(p *Problem) Result {
+	// Chaos hook (no-op unless a fault.Plan is installed): an injected error
+	// reports IterLimit — exactly how a genuinely degenerate tableau
+	// surfaces — so callers exercise their numeric-trouble paths.
+	if err := fault.Hit(fault.PointLPSolve); err != nil {
+		return Result{Status: IterLimit}
+	}
 	n := p.NumVars
 	if len(p.Maximize) != n {
 		panic(fmt.Sprintf("lp: objective has %d coefficients, want %d", len(p.Maximize), n))

@@ -26,9 +26,12 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
+	"mime"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -46,23 +49,41 @@ type AlgorithmFactory func() core.Algorithm
 // sweeper closes it.
 const DefaultSessionTTL = 30 * time.Minute
 
-// session pairs a live core.Session with its bookkeeping.
+// DefaultAnswerDeadline bounds how long a request blocks waiting for the
+// algorithm goroutine to produce the next question before answering 503.
+const DefaultAnswerDeadline = 30 * time.Second
+
+// maxAnswerBytes bounds answer request bodies; {"prefer_first": bool} needs
+// a few dozen bytes, so anything past this is abuse, not data.
+const maxAnswerBytes = 4 << 10
+
+// retryAfterSeconds is the Retry-After hint on 503 responses.
+const retryAfterSeconds = 1
+
+// session pairs a live core.Session with its bookkeeping. mu serializes all
+// protocol calls (Next/Answer/Result) on the underlying core.Session, which
+// is not safe for concurrent use: without it, two simultaneous HTTP requests
+// for the same id race the session state (a live -race-detectable bug).
+// core.Session.Close is the one call that needs no lock.
 type session struct {
 	sess      *core.Session
 	lastTouch time.Time
+
+	mu sync.Mutex
 }
 
 // Server is the HTTP handler. Create with New and mount it anywhere (it
 // implements http.Handler).
 type Server struct {
-	ds      *dataset.Dataset
-	eps     float64
-	factory AlgorithmFactory
-	log     *slog.Logger
-	reg     *obs.Registry
-	ttl     time.Duration
-	start   time.Time
-	now     func() time.Time // injectable clock for TTL tests
+	ds       *dataset.Dataset
+	eps      float64
+	factory  AlgorithmFactory
+	log      *slog.Logger
+	reg      *obs.Registry
+	ttl      time.Duration
+	deadline time.Duration
+	start    time.Time
+	now      func() time.Time // injectable clock for TTL tests
 
 	mu        sync.Mutex
 	sessions  map[string]*session
@@ -78,6 +99,8 @@ type Server struct {
 	evicted   *obs.Counter
 	rounds    *obs.Histogram
 	encodeErr *obs.Counter
+	degraded  *obs.Counter
+	panics    *obs.Counter
 }
 
 // Option configures a Server.
@@ -110,6 +133,14 @@ func WithSessionTTL(d time.Duration) Option {
 	return func(s *Server) { s.ttl = d }
 }
 
+// WithAnswerDeadline bounds how long a request may block waiting for the
+// algorithm goroutine before the server answers 503 + Retry-After instead of
+// tying up the connection. Zero or negative waits forever (the pre-deadline
+// behaviour).
+func WithAnswerDeadline(d time.Duration) Option {
+	return func(s *Server) { s.deadline = d }
+}
+
 // New builds a server for the given (already skyline-preprocessed) dataset
 // and regret threshold.
 func New(ds *dataset.Dataset, eps float64, factory AlgorithmFactory, opts ...Option) *Server {
@@ -120,6 +151,7 @@ func New(ds *dataset.Dataset, eps float64, factory AlgorithmFactory, opts ...Opt
 		log:      slog.Default(),
 		reg:      obs.Default(),
 		ttl:      DefaultSessionTTL,
+		deadline: DefaultAnswerDeadline,
 		now:      time.Now,
 		sessions: make(map[string]*session),
 	}
@@ -136,6 +168,8 @@ func New(ds *dataset.Dataset, eps float64, factory AlgorithmFactory, opts ...Opt
 	s.evicted = s.reg.Counter("sessions.evicted")
 	s.rounds = s.reg.Histogram("sessions.rounds", obs.LinearBuckets(1, 1, 40))
 	s.encodeErr = s.reg.Counter("http.encode_errors")
+	s.degraded = s.reg.Counter("sessions.degraded")
+	s.panics = s.reg.Counter("server.panics_recovered")
 	return s
 }
 
@@ -155,11 +189,15 @@ type statePayload struct {
 	Error    string           `json:"error,omitempty"`
 }
 
-// resultPayload is the JSON shape of a finished search.
+// resultPayload is the JSON shape of a finished search. Degraded marks a
+// best-effort answer returned after the utility range emptied or a contained
+// panic — still a valid tuple, but without the ε-regret certificate.
 type resultPayload struct {
-	PointIndex int       `json:"point_index"`
-	Point      []float64 `json:"point"`
-	Rounds     int       `json:"rounds"`
+	PointIndex     int       `json:"point_index"`
+	Point          []float64 `json:"point"`
+	Rounds         int       `json:"rounds"`
+	Degraded       bool      `json:"degraded,omitempty"`
+	DegradedReason string    `json:"degraded_reason,omitempty"`
 }
 
 // answerPayload is the request body of POST /sessions/{id}/answer.
@@ -327,27 +365,71 @@ func (s *Server) state(w http.ResponseWriter, id string) {
 	s.respondState(w, id, e, http.StatusOK)
 }
 
+// jsonContentType accepts application/json, any +json structured suffix, or
+// an absent header (plenty of curl-style clients omit it). Everything else —
+// form posts, multipart uploads, text/plain — is an explicit mismatch worth
+// rejecting before the body is even read.
+func jsonContentType(ct string) bool {
+	if ct == "" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return false
+	}
+	return mt == "application/json" || strings.HasSuffix(mt, "+json")
+}
+
 func (s *Server) answer(w http.ResponseWriter, r *http.Request, id string) {
+	if ct := r.Header.Get("Content-Type"); !jsonContentType(ct) {
+		s.httpError(w, http.StatusUnsupportedMediaType, "content type %q not supported; send application/json", ct)
+		return
+	}
 	e, ok := s.lookup(id)
 	if !ok {
 		s.httpError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxAnswerBytes)
 	var body answerPayload
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.httpError(w, http.StatusRequestEntityTooLarge, "answer body exceeds %d bytes", maxAnswerBytes)
+			return
+		}
 		s.httpError(w, http.StatusBadRequest, "bad answer body: %v", err)
 		return
 	}
+	e.mu.Lock()
 	// Ensure a question is pending (Next is idempotent for pending ones).
-	if _, _, done := e.sess.Next(); done {
+	_, _, done, ready := e.sess.NextTimeout(s.deadline)
+	if !ready {
+		e.mu.Unlock()
+		s.notReady(w, id)
+		return
+	}
+	if done {
+		e.mu.Unlock()
 		s.httpError(w, http.StatusConflict, "session already finished")
 		return
 	}
-	if err := e.sess.Answer(body.PreferFirst); err != nil {
+	err := e.sess.Answer(body.PreferFirst)
+	e.mu.Unlock()
+	if err != nil {
 		s.httpError(w, http.StatusConflict, "%v", err)
 		return
 	}
 	s.respondState(w, id, e, http.StatusOK)
+}
+
+// notReady reports 503 with Retry-After: the algorithm goroutine did not
+// produce the next state within the configured deadline. The session stays
+// alive; the client should simply retry.
+func (s *Server) notReady(w http.ResponseWriter, id string) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	s.httpError(w, http.StatusServiceUnavailable,
+		"session %q not ready within %s; retry", id, s.deadline)
 }
 
 func (s *Server) abort(w http.ResponseWriter, id string) {
@@ -366,15 +448,44 @@ func (s *Server) abort(w http.ResponseWriter, id string) {
 }
 
 // respondState advances to the next question (or result) and serializes it.
+// It takes e.mu itself, so callers must not hold it.
 func (s *Server) respondState(w http.ResponseWriter, id string, e *session, status int) {
-	pi, pj, done := e.sess.Next()
+	e.mu.Lock()
+	pi, pj, done, ready := e.sess.NextTimeout(s.deadline)
+	if !ready {
+		e.mu.Unlock()
+		s.notReady(w, id)
+		return
+	}
 	out := statePayload{ID: id, Done: done}
 	if done {
 		res, err := e.sess.Result()
+		e.mu.Unlock()
+		var pe *core.PanicError
 		if err != nil {
 			out.Error = err.Error()
+			if errors.As(err, &pe) {
+				// Algorithm goroutine panicked outside any Guard boundary;
+				// the session died but the process (and every other
+				// session) keeps running.
+				s.panics.Inc()
+				s.log.Warn("session ended by recovered panic", "id", id, "err", err)
+			}
 		} else {
-			out.Result = &resultPayload{PointIndex: res.PointIndex, Point: res.Point, Rounds: res.Rounds}
+			out.Result = &resultPayload{
+				PointIndex:     res.PointIndex,
+				Point:          res.Point,
+				Rounds:         res.Rounds,
+				Degraded:       res.Degraded,
+				DegradedReason: res.DegradedReason,
+			}
+			if res.PanicsRecovered > 0 {
+				s.panics.Add(int64(res.PanicsRecovered))
+			}
+			if res.Degraded {
+				s.degraded.Inc()
+				s.log.Warn("session degraded", "id", id, "reason", res.DegradedReason)
+			}
 		}
 		s.mu.Lock()
 		_, present := s.sessions[id]
@@ -388,6 +499,7 @@ func (s *Server) respondState(w http.ResponseWriter, id string, e *session, stat
 			}
 		}
 	} else {
+		e.mu.Unlock()
 		out.Question = &questionPayload{First: pi, Second: pj, Attrs: s.ds.Attrs}
 	}
 	w.Header().Set("Content-Type", "application/json")
