@@ -43,6 +43,7 @@ func runFigure(b *testing.B, id, metricCol string) {
 		b.Fatal(err)
 	}
 	cfg := benchConfig()
+	b.ReportAllocs()
 	var last *exp.Table
 	for i := 0; i < b.N; i++ {
 		tab, err := e.Run(cfg)

@@ -6,6 +6,8 @@
 //	isrl-bench -fig all -scale tiny      # whole registry, test scale
 //	isrl-bench -fig fig16 -scale full    # paper-scale workload (hours)
 //	isrl-bench -fig fig9 -csv out/       # also write CSV per figure
+//	isrl-bench -hotpaths                 # benchmark hot paths -> BENCH_hotpaths.json
+//	isrl-bench -hotpaths -quick          # smaller workloads (CI smoke)
 package main
 
 import (
@@ -30,8 +32,19 @@ func main() {
 		train   = flag.Int("train", 0, "override training episodes per agent")
 		numPts  = flag.Int("n", 0, "override synthetic dataset size")
 		epsilon = flag.Float64("eps", 0, "override default regret threshold")
+
+		hotpaths = flag.Bool("hotpaths", false, "measure batched/parallel hot paths and write a JSON report")
+		quick    = flag.Bool("quick", false, "with -hotpaths: smaller workloads for CI smoke runs")
+		outPath  = flag.String("out", "BENCH_hotpaths.json", "with -hotpaths: report destination")
 	)
 	flag.Parse()
+
+	if *hotpaths {
+		if err := runHotpaths(*quick, *outPath); err != nil {
+			fatalf("hotpaths: %v", err)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range exp.Registry {

@@ -17,6 +17,7 @@ import (
 	"isrl/internal/core"
 	"isrl/internal/dataset"
 	"isrl/internal/geom"
+	"isrl/internal/par"
 	"isrl/internal/rl"
 	"isrl/internal/vec"
 )
@@ -206,10 +207,7 @@ func (a *AA) selectActions(poly *geom.Polytope, center []float64) []action {
 	for i := range idx {
 		idx[i] = i
 	}
-	scores := make([]float64, n)
-	for i, p := range a.ds.Points {
-		scores[i] = vec.Dot(center, p)
-	}
+	scores := a.ds.Scores(center, nil)
 	sort.Slice(idx, func(x, y int) bool { return scores[idx[x]] > scores[idx[y]] })
 	top := idx[:k]
 
@@ -248,6 +246,39 @@ func (a *AA) selectActions(poly *geom.Polytope, center []float64) []action {
 		sort.Slice(cands, func(x, y int) bool { return cands[x].dist < cands[y].dist })
 	}
 
+	// LP feasibility probes dominate this loop. CutsBothSides is a pure
+	// function of the (fixed-for-this-round) polytope and the candidate
+	// pair, so results for a speculative window of upcoming candidates are
+	// computed by the worker pool and consumed by the serial accept loop —
+	// budget accounting, the diversity filter, and accept order are
+	// untouched, so the selected actions are identical for any worker count.
+	cuts := make([]int8, len(cands)) // 0 = unprobed, 1 = cuts both sides, 2 = no
+	probe := func(ci int) bool {
+		if cuts[ci] == 0 {
+			window := 1
+			if w := par.Workers(); w > 1 {
+				window = 2 * w
+			}
+			hi := ci + window
+			if hi > len(cands) {
+				hi = len(cands)
+			}
+			par.Do(hi-ci, func(k int) {
+				if cuts[ci+k] != 0 {
+					return
+				}
+				c := cands[ci+k]
+				h := geom.NewHalfspace(a.ds.Points[c.i], a.ds.Points[c.j])
+				if poly.CutsBothSides(h, 1e-9) {
+					cuts[ci+k] = 1
+				} else {
+					cuts[ci+k] = 2
+				}
+			})
+		}
+		return cuts[ci] == 1
+	}
+
 	// Greedy fill with an angular-diversity filter: a pool of nearly
 	// parallel hyperplanes would keep slicing the same direction and leave
 	// the outer rectangle wide elsewhere, so candidates too parallel to an
@@ -255,10 +286,11 @@ func (a *AA) selectActions(poly *geom.Polytope, center []float64) []action {
 	var out []action
 	var normals [][]float64
 	checks := 0
-	accept := func(c cand, requireDiverse bool) bool {
+	accept := func(ci int, requireDiverse bool) bool {
 		if len(out) >= a.cfg.Mh || checks >= a.cfg.MaxLPChecks {
 			return false
 		}
+		c := cands[ci]
 		pi, pj := a.ds.Points[c.i], a.ds.Points[c.j]
 		h := geom.NewHalfspace(pi, pj)
 		n := vec.Clone(h.Normal)
@@ -272,7 +304,7 @@ func (a *AA) selectActions(poly *geom.Polytope, center []float64) []action {
 			}
 		}
 		checks++
-		if !poly.CutsBothSides(h, 1e-9) {
+		if !probe(ci) {
 			return true
 		}
 		feat := make([]float64, 0, 2*len(pi))
@@ -282,8 +314,8 @@ func (a *AA) selectActions(poly *geom.Polytope, center []float64) []action {
 		normals = append(normals, n)
 		return true
 	}
-	for _, c := range cands {
-		if !accept(c, true) {
+	for ci := range cands {
+		if !accept(ci, true) {
 			break
 		}
 	}
@@ -292,11 +324,11 @@ func (a *AA) selectActions(poly *geom.Polytope, center []float64) []action {
 		for _, ac := range out {
 			seenPair[[2]int{ac.I, ac.J}] = true
 		}
-		for _, c := range cands {
+		for ci, c := range cands {
 			if seenPair[[2]int{c.i, c.j}] {
 				continue
 			}
-			if !accept(c, false) {
+			if !accept(ci, false) {
 				break
 			}
 		}

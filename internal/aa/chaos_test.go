@@ -1,0 +1,36 @@
+package aa
+
+import (
+	"math/rand"
+	"testing"
+
+	"isrl/internal/core"
+	"isrl/internal/fault"
+	"isrl/internal/par"
+)
+
+// An LP panic injected while the worker pool is probing candidate cuts must
+// flow worker → par.Do re-raise → safeRound's core.Guard → Degraded result:
+// the process survives, the pool drains, and the session still answers.
+func TestChaosInjectedLPPanicDegradesUnderPool(t *testing.T) {
+	defer par.SetMaxWorkers(par.SetMaxWorkers(4))
+	ds := testData(t, 300, 3, 61)
+	a := New(ds, 0.1, smallCfg(), rand.New(rand.NewSource(62)))
+	// After skips the session's first serial LPs (inner ball, outer rect) so
+	// the armed panic lands during the fanned-out feasibility probes.
+	fault.Install(fault.NewPlan(63).Set(fault.PointLPSolve, fault.Spec{PanicProb: 1, After: 12}))
+	defer fault.Install(nil)
+	res, err := a.Run(ds, core.SimulatedUser{Utility: []float64{0.3, 0.4, 0.3}}, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatalf("expected degraded result, got %+v", res)
+	}
+	if res.PanicsRecovered == 0 {
+		t.Fatal("expected at least one contained panic")
+	}
+	if res.Point == nil {
+		t.Fatal("best-effort result missing a point")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"isrl/internal/core"
 	"isrl/internal/dataset"
 	"isrl/internal/geom"
+	"isrl/internal/par"
 	"isrl/internal/vec"
 )
 
@@ -89,10 +90,11 @@ func (u *UHSimplex) Name() string { return "UH-Simplex" }
 // Run implements core.Algorithm.
 func (u *UHSimplex) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Observer) (core.Result, error) {
 	return runUH(ds, user, eps, obs, u.cfg, u.rng, func(pairs [][2]int, verts [][]float64) [2]int {
-		best := pairs[0]
-		bestScore := math.MaxInt32
-		for _, pr := range pairs {
-			w := vec.Sub(nil, ds.Points[pr[0]], ds.Points[pr[1]])
+		// Score every pair on the worker pool, then take the first minimum
+		// serially — the same pair the serial loop would pick.
+		scores := make([]int, len(pairs))
+		par.Do(len(pairs), func(i int) {
+			w := vec.Sub(nil, ds.Points[pairs[i][0]], ds.Points[pairs[i][1]])
 			pos, neg := 0, 0
 			for _, v := range verts {
 				s := vec.Dot(w, v)
@@ -106,8 +108,13 @@ func (u *UHSimplex) Run(ds *dataset.Dataset, user core.User, eps float64, obs co
 			if score < 0 {
 				score = -score
 			}
-			if score < bestScore {
-				bestScore, best = score, pr
+			scores[i] = score
+		})
+		best := pairs[0]
+		bestScore := math.MaxInt32
+		for i, s := range scores {
+			if s < bestScore {
+				bestScore, best = s, pairs[i]
 			}
 		}
 		return best
@@ -209,17 +216,20 @@ func hullCandidates(ds *dataset.Dataset, cands []int) []int {
 // p_c can never be top-1 again — the SIGMOD'19 pruning rule.
 func pruneByTops(ds *dataset.Dataset, cands []int, verts [][]float64) []int {
 	tops := map[int]bool{}
-	for _, v := range verts {
-		tops[ds.TopPoint(v)] = true
+	for _, t := range ds.TopPoints(verts, nil) {
+		tops[t] = true
 	}
 	topIdx := make([]int, 0, len(tops))
 	for i := range tops {
 		topIdx = append(topIdx, i)
 	}
 	sort.Ints(topIdx) // map order is random; keep runs reproducible
-	keep := cands[:0]
-	for _, c := range cands {
-		dominated := false
+	// Each candidate's domination verdict is independent of the others, so
+	// the checks fan out across the worker pool; the keep filter below runs
+	// serially over the verdict slots, preserving candidate order exactly.
+	dominated := make([]bool, len(cands))
+	par.Do(len(cands), func(ci int) {
+		c := cands[ci]
 		for _, t := range topIdx {
 			if t == c {
 				continue
@@ -237,11 +247,14 @@ func pruneByTops(ds *dataset.Dataset, cands []int, verts [][]float64) []int {
 				}
 			}
 			if allGE && strict {
-				dominated = true
-				break
+				dominated[ci] = true
+				return
 			}
 		}
-		if !dominated {
+	})
+	keep := cands[:0]
+	for ci, c := range cands {
+		if !dominated[ci] {
 			keep = append(keep, c)
 		}
 	}
@@ -271,11 +284,22 @@ func cuttingPairs(ds *dataset.Dataset, cands []int, verts [][]float64, rng *rand
 	total := len(cands) * (len(cands) - 1) / 2
 	var out [][2]int
 	if total <= maxPairs {
+		// Full enumeration: test every pair on the worker pool, then keep
+		// the cutting ones in enumeration order — identical output for any
+		// worker count.
+		all := make([][2]int, 0, total)
 		for x := 0; x < len(cands); x++ {
 			for y := x + 1; y < len(cands); y++ {
-				if cuts(cands[x], cands[y]) {
-					out = append(out, [2]int{cands[x], cands[y]})
-				}
+				all = append(all, [2]int{cands[x], cands[y]})
+			}
+		}
+		cutFlags := make([]bool, len(all))
+		par.Do(len(all), func(i int) {
+			cutFlags[i] = cuts(all[i][0], all[i][1])
+		})
+		for i, pr := range all {
+			if cutFlags[i] {
+				out = append(out, pr)
 			}
 		}
 		return out

@@ -191,12 +191,12 @@ func (e *EA) computeRound(poly *geom.Polytope, eps float64) (*round, error) {
 	// determined by its top-1 point, so distinct top indices enumerate the
 	// constructed polyhedra (§IV-B action space).
 	tops := map[int]bool{}
-	for _, v := range verts {
-		tops[e.ds.TopPoint(v)] = true
+	for _, t := range e.ds.TopPoints(verts, nil) {
+		tops[t] = true
 	}
 	if samples, err := poly.Sample(e.rng, e.cfg.NumSamples, geom.SampleOptions{}); err == nil {
-		for _, u := range samples {
-			tops[e.ds.TopPoint(u)] = true
+		for _, t := range e.ds.TopPoints(samples, nil) {
+			tops[t] = true
 		}
 	}
 	reps := make([]int, 0, len(tops))

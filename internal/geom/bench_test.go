@@ -28,6 +28,8 @@ func benchPolytope(d, cuts int, seed int64) *Polytope {
 
 func BenchmarkVertices4D(b *testing.B) {
 	p := benchPolytope(4, 10, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.vertsDirty = true
 		if _, err := p.Vertices(); err != nil {
@@ -38,6 +40,8 @@ func BenchmarkVertices4D(b *testing.B) {
 
 func BenchmarkInnerBall20D(b *testing.B) {
 	p := benchPolytope(20, 15, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.InnerBall(); err != nil {
 			b.Fatal(err)
@@ -47,6 +51,8 @@ func BenchmarkInnerBall20D(b *testing.B) {
 
 func BenchmarkOuterRect20D(b *testing.B) {
 	p := benchPolytope(20, 15, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := p.OuterRect(); err != nil {
 			b.Fatal(err)
@@ -57,6 +63,7 @@ func BenchmarkOuterRect20D(b *testing.B) {
 func BenchmarkHitAndRunSample(b *testing.B) {
 	p := benchPolytope(4, 8, 4)
 	rng := rand.New(rand.NewSource(5))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.Sample(rng, 64, SampleOptions{}); err != nil {
@@ -71,6 +78,7 @@ func BenchmarkEnclosingBall(b *testing.B) {
 	for i := range pts {
 		pts[i] = SampleSimplex(rng, 5)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		EnclosingBall(pts, EnclosingBallOptions{})
@@ -83,8 +91,24 @@ func BenchmarkGreedyCover(b *testing.B) {
 	for i := range pts {
 		pts[i] = SampleSimplex(rng, 4)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		GreedyCover(pts, 5, 0.1)
+	}
+}
+
+// BenchmarkVertices5D stresses the parallel first-index partition with a
+// larger enumeration pool (the paper's practical ceiling for exact
+// polyhedra).
+func BenchmarkVertices5D(b *testing.B) {
+	p := benchPolytope(5, 14, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.vertsDirty = true
+		if _, err := p.Vertices(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,89 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+
+	"isrl/internal/par"
+)
+
+// testPoly builds a d-dimensional utility range narrowed by a few random
+// preference halfspaces, mirroring mid-interaction state.
+func testPoly(t *testing.T, d int, seed int64) *Polytope {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := NewPolytope(d)
+	for k := 0; k < d+2; k++ {
+		pi := make([]float64, d)
+		pj := make([]float64, d)
+		for i := 0; i < d; i++ {
+			pi[i] = rng.Float64()
+			pj[i] = rng.Float64()
+		}
+		h := NewHalfspace(pi, pj)
+		q := p.Clone()
+		q.Add(h)
+		if !q.IsEmpty() {
+			p.Add(h)
+		}
+	}
+	if p.IsEmpty() {
+		t.Fatal("test polytope is empty")
+	}
+	return p
+}
+
+// Sample's chain decomposition is fixed by (seed, n, opts), so the drawn
+// points must be bit-identical whether the chains run on one worker or many.
+func TestSampleDeterministicAcrossWorkers(t *testing.T) {
+	for _, d := range []int{3, 5} {
+		draw := func(workers int) [][]float64 {
+			defer par.SetMaxWorkers(par.SetMaxWorkers(workers))
+			pts, err := testPoly(t, d, 21).Sample(rand.New(rand.NewSource(22)), 40, SampleOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return pts
+		}
+		one := draw(1)
+		many := draw(8)
+		if len(one) != 40 || len(many) != 40 {
+			t.Fatalf("d=%d: got %d and %d points, want 40", d, len(one), len(many))
+		}
+		for i := range one {
+			for j := range one[i] {
+				if one[i][j] != many[i][j] {
+					t.Fatalf("d=%d: point %d dim %d: workers=1 %v, workers=8 %v",
+						d, i, j, one[i][j], many[i][j])
+				}
+			}
+		}
+	}
+}
+
+// Vertex enumeration partitions by first constraint index with an ordered
+// merge, so the vertex list must be bit-identical for any worker count.
+func TestVerticesDeterministicAcrossWorkers(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		enum := func(workers int) [][]float64 {
+			defer par.SetMaxWorkers(par.SetMaxWorkers(workers))
+			vs, err := testPoly(t, d, 31).Vertices()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return vs
+		}
+		one := enum(1)
+		many := enum(8)
+		if len(one) == 0 || len(one) != len(many) {
+			t.Fatalf("d=%d: %d vs %d vertices", d, len(one), len(many))
+		}
+		for i := range one {
+			for j := range one[i] {
+				if one[i][j] != many[i][j] {
+					t.Fatalf("d=%d: vertex %d dim %d differs across worker counts", d, i, j)
+				}
+			}
+		}
+	}
+}

@@ -249,9 +249,9 @@ func (p *Polytope) RepairFeasibility(maxDrops int) int {
 			return removed
 		}
 		bestIdx, bestSlack := -1, math.Inf(-1)
+		rest := make([]Halfspace, 0, len(p.Halfspaces)-1)
 		for i := range p.Halfspaces {
-			rest := make([]Halfspace, 0, len(p.Halfspaces)-1)
-			rest = append(rest, p.Halfspaces[:i]...)
+			rest = append(rest[:0], p.Halfspaces[:i]...)
 			rest = append(rest, p.Halfspaces[i+1:]...)
 			q := &Polytope{Dim: p.Dim, Halfspaces: rest}
 			if s, _, ok := q.InteriorSlack(); ok && s > bestSlack {
@@ -273,17 +273,20 @@ func (p *Polytope) RepairFeasibility(maxDrops int) int {
 // Returns the number of halfspaces removed.
 func (p *Polytope) ReduceRedundant() int {
 	removed := 0
+	// One scratch relaxation and one negated-normal buffer serve every
+	// probe; the actual removal splices p.Halfspaces in place.
+	rest := make([]Halfspace, 0, len(p.Halfspaces))
+	neg := make([]float64, p.Dim)
 	for i := 0; i < len(p.Halfspaces); {
 		h := p.Halfspaces[i]
-		rest := make([]Halfspace, 0, len(p.Halfspaces)-1)
-		rest = append(rest, p.Halfspaces[:i]...)
+		rest = append(rest[:0], p.Halfspaces[:i]...)
 		rest = append(rest, p.Halfspaces[i+1:]...)
 		q := &Polytope{Dim: p.Dim, Halfspaces: rest}
-		if q.sideFeasible(vec.Scale(nil, -1, h.Normal), 1e-9) {
+		if q.sideFeasible(vec.Scale(neg, -1, h.Normal), 1e-9) {
 			i++ // h actively cuts; keep it
 			continue
 		}
-		p.Halfspaces = rest
+		p.Halfspaces = append(p.Halfspaces[:i], p.Halfspaces[i+1:]...)
 		p.vertsDirty = true
 		removed++
 	}

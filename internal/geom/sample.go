@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"isrl/internal/fault"
+	"isrl/internal/par"
 	"isrl/internal/vec"
 )
 
@@ -28,12 +29,22 @@ func SampleSimplex(rng *rand.Rand, d int) []float64 {
 type SampleOptions struct {
 	BurnIn int // steps discarded before the first sample (default 5·d)
 	Thin   int // steps between retained samples (default d)
+	Chains int // independent chains run in parallel (default 4, capped at n)
 }
 
+// defaultChains is the number of independent hit-and-run chains Sample
+// decomposes into. It is a fixed constant — NOT the worker count — so a
+// seeded run draws the exact same points whether the chains execute on one
+// goroutine or many.
+const defaultChains = 4
+
 // Sample draws n points approximately uniformly from R with hit-and-run,
-// walking inside the affine subspace Σu = 1. The chain starts at the inner
-// ball center (a deep interior point). It fails when R is empty or has no
-// interior.
+// walking inside the affine subspace Σu = 1. The work is split across
+// independent chains (SampleOptions.Chains), each starting at the inner
+// ball center with its own RNG stream seeded in chain order from rng;
+// chain c writes its quota into a fixed slice range, so the output is a
+// deterministic function of (rng state, n, opts) regardless of how many
+// workers execute the chains. It fails when R is empty or has no interior.
 //
 // Hit-and-run is the workhorse behind the paper's Lemma-5 sampling step: the
 // number of sample vectors falling inside a terminal polyhedron tracks its
@@ -58,26 +69,63 @@ func (p *Polytope) Sample(rng *rand.Rand, n int, opts SampleOptions) ([][]float6
 	if opts.Thin == 0 {
 		opts.Thin = d
 	}
-	cur := vec.Clone(ib.Center)
-	dir := make([]float64, d)
-	out := make([][]float64, 0, n)
-	steps := opts.BurnIn + n*opts.Thin
+	if opts.Chains == 0 {
+		opts.Chains = defaultChains
+	}
+	chains := opts.Chains
+	if chains > n {
+		chains = n
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// Per-chain RNG streams, seeded in chain order from the caller's rng.
+	streams := par.SeedStreams(rng, chains)
+	out := make([][]float64, n)
+	base, extra := n/chains, n%chains
+	offset := make([]int, chains+1)
+	for c := 0; c < chains; c++ {
+		q := base
+		if c < extra {
+			q++
+		}
+		offset[c+1] = offset[c] + q
+	}
+	par.Do(chains, func(c int) {
+		p.runChain(streams[c], ib.Center, opts, out[offset[c]:offset[c+1]])
+	})
+	return out, nil
+}
+
+// runChain walks one hit-and-run chain from start, filling every slot of
+// out with a retained sample. It touches only read-only polytope state and
+// its own buffers, so chains may run concurrently.
+func (p *Polytope) runChain(rng *rand.Rand, start []float64, opts SampleOptions, out [][]float64) {
+	cur := vec.Clone(start)
+	dir := make([]float64, len(start))
+	steps := opts.BurnIn + len(out)*opts.Thin
+	k := 0
 	for s := 0; s < steps; s++ {
 		p.randomZeroSumDir(rng, dir)
 		lo, hi, ok := p.chord(cur, dir)
 		if !ok {
 			// Numerical corner: restart from the interior center.
-			copy(cur, ib.Center)
+			copy(cur, start)
 			continue
 		}
 		t := lo + rng.Float64()*(hi-lo)
 		vec.AddScaled(cur, cur, t, dir)
 		clampSimplex(cur)
 		if s >= opts.BurnIn && (s-opts.BurnIn)%opts.Thin == opts.Thin-1 {
-			out = append(out, vec.Clone(cur))
+			out[k] = vec.Clone(cur)
+			k++
 		}
 	}
-	return out, nil
+	// The restart branch skips retention slots; backfill any misses with
+	// the last position so every slot is a valid interior point.
+	for ; k < len(out); k++ {
+		out[k] = vec.Clone(cur)
+	}
 }
 
 // randomZeroSumDir fills dir with a unit Gaussian direction projected onto

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"isrl/internal/fault"
+	"isrl/internal/par"
 	"isrl/internal/vec"
 )
 
@@ -52,13 +53,55 @@ func (p *Polytope) Vertices() ([][]float64, error) {
 		return nil, fmt.Errorf("geom: vertex enumeration needs %d bases (max %d); reduce halfspaces or dimension", c, MaxVertexBases)
 	}
 
+	if d == 1 {
+		return nil, fmt.Errorf("geom: dimension 1 unsupported")
+	}
+
+	// Partition the (d−1)-subset enumeration by first constraint index:
+	// task t enumerates every subset whose smallest member is t. Each task
+	// owns its matrix/output buffers and touches only read-only polytope
+	// state, so tasks run concurrently; merging the per-task lists in task
+	// order then reproduces the exact serial (lexicographic) enumeration
+	// order, so the dedup representative — and the final sorted list — are
+	// identical for any worker count.
+	nTasks := len(pool) - (d - 1) + 1
+	if nTasks < 0 {
+		nTasks = 0
+	}
+	locals := make([][][]float64, nTasks)
+	par.Do(nTasks, func(t int) {
+		locals[t] = p.enumerateVerticesFrom(pool, t)
+	})
+
+	var out [][]float64
+	seen := make(map[string]bool)
+	for _, local := range locals {
+		for _, u := range local {
+			key := quantKey(u)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, u)
+			}
+		}
+	}
+	// Canonical order keeps downstream behaviour deterministic.
+	sort.Slice(out, func(i, j int) bool { return lexLess(out[i], out[j]) })
+	p.verts = out
+	p.vertsDirty = false
+	return out, nil
+}
+
+// enumerateVerticesFrom solves every d×d system whose active-constraint
+// subset has smallest pool index first, returning feasible vertices in
+// lexicographic enumeration order (undeduplicated).
+func (p *Polytope) enumerateVerticesFrom(pool [][]float64, first int) [][]float64 {
+	d := p.Dim
 	A := vec.NewMat(d, d)
 	b := make([]float64, d)
 	b[0] = 1
 	var out [][]float64
-	seen := make(map[string]bool)
-
 	idx := make([]int, d-1)
+	idx[0] = first
 	var rec func(start, k int)
 	rec = func(start, k int) {
 		if k == d-1 {
@@ -73,12 +116,7 @@ func (p *Polytope) Vertices() ([][]float64, error) {
 			if !ok {
 				return
 			}
-			if !p.feasibleVertex(u) {
-				return
-			}
-			key := quantKey(u)
-			if !seen[key] {
-				seen[key] = true
+			if p.feasibleVertex(u) {
 				out = append(out, u)
 			}
 			return
@@ -88,15 +126,8 @@ func (p *Polytope) Vertices() ([][]float64, error) {
 			rec(i+1, k+1)
 		}
 	}
-	if d == 1 {
-		return nil, fmt.Errorf("geom: dimension 1 unsupported")
-	}
-	rec(0, 0)
-	// Canonical order keeps downstream behaviour deterministic.
-	sort.Slice(out, func(i, j int) bool { return lexLess(out[i], out[j]) })
-	p.verts = out
-	p.vertsDirty = false
-	return out, nil
+	rec(first+1, 1)
+	return out
 }
 
 func (p *Polytope) feasibleVertex(u []float64) bool {

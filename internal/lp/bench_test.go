@@ -1,0 +1,55 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchProblem mirrors the geometry layer's feasibility probes: maximize a
+// random direction over the utility simplex cut by extra halfspaces.
+func benchProblem(rng *rand.Rand, d, cuts int) *Problem {
+	p := &Problem{NumVars: d, Maximize: make([]float64, d)}
+	for i := range p.Maximize {
+		p.Maximize[i] = rng.NormFloat64()
+	}
+	ones := make([]float64, d)
+	for i := range ones {
+		ones[i] = 1
+	}
+	p.AddEQ(ones, 1)
+	u := make([]float64, d) // interior witness keeps the program feasible
+	for i := range u {
+		u[i] = 1 / float64(d)
+	}
+	for k := 0; k < cuts; k++ {
+		w := make([]float64, d)
+		var wu float64
+		for i := range w {
+			w[i] = rng.NormFloat64()
+			wu += w[i] * u[i]
+		}
+		if wu < 0 {
+			for i := range w {
+				w[i] = -w[i]
+			}
+		}
+		p.AddGE(w, 0)
+	}
+	return p
+}
+
+func benchSolve(b *testing.B, d, cuts int) {
+	b.Helper()
+	prob := benchProblem(rand.New(rand.NewSource(int64(d))), d, cuts)
+	if Solve(prob).Status != Optimal {
+		b.Fatal("benchmark problem not optimal")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(prob)
+	}
+}
+
+func BenchmarkSolveD4(b *testing.B)  { benchSolve(b, 4, 10) }
+func BenchmarkSolveD20(b *testing.B) { benchSolve(b, 20, 15) }

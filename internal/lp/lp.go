@@ -15,9 +15,86 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"isrl/internal/fault"
 )
+
+// arena recycles the simplex working set — tableau rows, index maps,
+// reduced-cost row — across Solve calls via a sync.Pool. Solve runs on every
+// geometry probe in the hot interactive loop, and rebuilding the tableau
+// used to dominate its allocation profile. Carved slices are zeroed, so they
+// behave exactly like fresh make() slices; Result.X is still freshly
+// allocated and never aliases pooled memory.
+type arena struct {
+	f    []float64
+	fOff int
+	i    []int
+	iOff int
+	b    []bool
+	bOff int
+	r    [][]float64
+	rOff int
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+func (a *arena) reset() { a.fOff, a.iOff, a.bOff, a.rOff = 0, 0, 0, 0 }
+
+// floats carves a zeroed n-element slice from the arena. When the backing
+// array is exhausted a larger one replaces it; slices carved earlier keep
+// pointing at the old array and stay valid.
+func (a *arena) floats(n int) []float64 {
+	if a.fOff+n > len(a.f) {
+		a.f = make([]float64, 2*len(a.f)+n)
+		a.fOff = 0
+	}
+	s := a.f[a.fOff : a.fOff+n : a.fOff+n]
+	a.fOff += n
+	for k := range s {
+		s[k] = 0
+	}
+	return s
+}
+
+func (a *arena) ints(n int) []int {
+	if a.iOff+n > len(a.i) {
+		a.i = make([]int, 2*len(a.i)+n)
+		a.iOff = 0
+	}
+	s := a.i[a.iOff : a.iOff+n : a.iOff+n]
+	a.iOff += n
+	for k := range s {
+		s[k] = 0
+	}
+	return s
+}
+
+func (a *arena) bools(n int) []bool {
+	if a.bOff+n > len(a.b) {
+		a.b = make([]bool, 2*len(a.b)+n)
+		a.bOff = 0
+	}
+	s := a.b[a.bOff : a.bOff+n : a.bOff+n]
+	a.bOff += n
+	for k := range s {
+		s[k] = false
+	}
+	return s
+}
+
+func (a *arena) rowPtrs(n int) [][]float64 {
+	if a.rOff+n > len(a.r) {
+		a.r = make([][]float64, 2*len(a.r)+n)
+		a.rOff = 0
+	}
+	s := a.r[a.rOff : a.rOff+n : a.rOff+n]
+	a.rOff += n
+	for k := range s {
+		s[k] = nil
+	}
+	return s
+}
 
 // Sense is the relation of a constraint row to its right-hand side.
 type Sense int8
@@ -140,8 +217,12 @@ func Solve(p *Problem) Result {
 	// one (GE and EQ rows, and LE rows whose RHS went negative).
 	free := func(j int) bool { return j < len(p.Free) && p.Free[j] }
 
-	posCol := make([]int, n) // column of x⁺ for var j
-	negCol := make([]int, n) // column of x⁻, or -1
+	ar := arenaPool.Get().(*arena)
+	ar.reset()
+	defer arenaPool.Put(ar)
+
+	posCol := ar.ints(n) // column of x⁺ for var j
+	negCol := ar.ints(n) // column of x⁻, or -1
 	cols := 0
 	for j := 0; j < n; j++ {
 		posCol[j] = cols
@@ -155,11 +236,11 @@ func Solve(p *Problem) Result {
 	}
 	m := len(p.Constraints)
 	// Row-normalized copies with non-negative RHS.
-	rows := make([][]float64, m)
-	rhs := make([]float64, m)
+	rows := ar.rowPtrs(m)
+	rhs := ar.floats(m)
 	senses := make([]Sense, m)
 	for i, c := range p.Constraints {
-		r := make([]float64, cols)
+		r := ar.floats(cols)
 		for j := 0; j < n; j++ {
 			r[posCol[j]] = c.Coeffs[j]
 			if negCol[j] >= 0 {
@@ -181,7 +262,7 @@ func Solve(p *Problem) Result {
 		}
 		rows[i], rhs[i], senses[i] = r, b, s
 	}
-	slackCol := make([]int, m)
+	slackCol := ar.ints(m)
 	for i := range slackCol {
 		slackCol[i] = -1
 	}
@@ -191,7 +272,7 @@ func Solve(p *Problem) Result {
 			cols++
 		}
 	}
-	artCol := make([]int, m)
+	artCol := ar.ints(m)
 	numArt := 0
 	for i, s := range senses {
 		if s == LE {
@@ -205,10 +286,10 @@ func Solve(p *Problem) Result {
 
 	// Tableau: m rows × (cols+1); last column is RHS. basis[i] is the column
 	// basic in row i.
-	t := make([][]float64, m)
-	basis := make([]int, m)
+	t := ar.rowPtrs(m)
+	basis := ar.ints(m)
 	for i := 0; i < m; i++ {
-		row := make([]float64, cols+1)
+		row := ar.floats(cols + 1)
 		copy(row, rows[i])
 		row[cols] = rhs[i]
 		switch senses[i] {
@@ -226,12 +307,12 @@ func Solve(p *Problem) Result {
 		t[i] = row
 	}
 
-	tab := &tableau{t: t, basis: basis, cols: cols}
+	tab := &tableau{t: t, basis: basis, cols: cols, ar: ar}
 
 	// --- Phase 1: drive artificials out -------------------------------
 	if numArt > 0 {
 		// Objective: minimize Σ artificials == maximize −Σ artificials.
-		obj := make([]float64, cols)
+		obj := ar.floats(cols)
 		for i := range artCol {
 			if artCol[i] >= 0 {
 				obj[artCol[i]] = -1
@@ -273,7 +354,7 @@ func Solve(p *Problem) Result {
 	}
 
 	// --- Phase 2: original objective -----------------------------------
-	obj := make([]float64, cols)
+	obj := ar.floats(cols)
 	for j := 0; j < n; j++ {
 		obj[posCol[j]] = p.Maximize[j]
 		if negCol[j] >= 0 {
@@ -286,7 +367,7 @@ func Solve(p *Problem) Result {
 	}
 
 	// Recover x.
-	xs := make([]float64, cols)
+	xs := ar.floats(cols)
 	for i, b := range tab.basis {
 		xs[b] = tab.t[i][cols]
 	}
@@ -306,6 +387,7 @@ type tableau struct {
 	basis  []int
 	cols   int
 	banned []bool // columns barred from entering (dead artificials)
+	ar     *arena // scratch source for the reduced-cost row
 }
 
 // run maximizes obj over the current tableau, returning the objective value.
@@ -313,7 +395,7 @@ type tableau struct {
 func (tb *tableau) run(obj []float64, banned []bool) (float64, Status) {
 	m, cols := len(tb.t), tb.cols
 	// Reduced-cost row: start from obj, eliminate basic columns.
-	red := make([]float64, cols+1)
+	red := tb.ar.floats(cols + 1)
 	copy(red, obj)
 	for i, b := range tb.basis {
 		cb := obj[b]

@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"isrl/internal/vec"
+)
+
+func randBatch(rng *rand.Rand, n, dim int) *vec.Mat {
+	x := vec.NewMat(n, dim)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// ForwardBatch must be bit-identical to per-row Forward: batched scoring in
+// the DQN is only valid as an optimization if the scores cannot drift.
+func TestForwardBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, act := range []Activation{SELU, ReLU, Tanh} {
+		net := NewMLP([]int{13, 32, 32, 4}, act, rng)
+		x := randBatch(rng, 9, 13)
+		got := net.ForwardBatch(x).Clone()
+		for r := 0; r < x.Rows; r++ {
+			want := net.Forward(x.Row(r))
+			for j, wj := range want {
+				if got.At(r, j) != wj {
+					t.Fatalf("%v: ForwardBatch[%d,%d] = %v, Forward = %v", act, r, j, got.At(r, j), wj)
+				}
+			}
+		}
+	}
+}
+
+// BackwardBatch must accumulate the same parameter gradients as running the
+// serial Backward once per row, in row order.
+func TestBackwardBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	batch := NewMLP([]int{7, 16, 2}, SELU, rng)
+	serial := batch.Clone()
+	x := randBatch(rng, 5, 7)
+	g := randBatch(rng, 5, 2)
+
+	batch.ZeroGrad()
+	batch.ForwardBatch(x)
+	batch.BackwardBatch(g)
+
+	serial.ZeroGrad()
+	for r := 0; r < x.Rows; r++ {
+		serial.Forward(x.Row(r))
+		serial.Backward(g.Row(r))
+	}
+
+	bp, sp := batch.Params(), serial.Params()
+	for i := range bp {
+		for j := range bp[i].Grad {
+			if bp[i].Grad[j] != sp[i].Grad[j] {
+				t.Fatalf("param %d grad[%d]: batch %v, serial %v", i, j, bp[i].Grad[j], sp[i].Grad[j])
+			}
+		}
+	}
+}
+
+// A cloned network must not share batch scratch with its source.
+func TestCloneBatchIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewMLP([]int{4, 8, 1}, SELU, rng)
+	x := randBatch(rng, 3, 4)
+	a.ForwardBatch(x)
+	b := a.Clone()
+	outA := a.ForwardBatch(x).Clone()
+	b.ForwardBatch(randBatch(rng, 6, 4))
+	outA2 := a.ForwardBatch(x)
+	for i := range outA.Data {
+		if outA.Data[i] != outA2.Data[i] {
+			t.Fatal("clone's batch pass perturbed the source network")
+		}
+	}
+}
+
+func BenchmarkForwardBatch64(b *testing.B) {
+	net := NewMLP([]int{29, 64, 1}, SELU, rand.New(rand.NewSource(4)))
+	x := randBatch(rand.New(rand.NewSource(5)), 64, 29)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardBatch(x)
+	}
+}
+
+func BenchmarkForward64Serial(b *testing.B) {
+	net := NewMLP([]int{29, 64, 1}, SELU, rand.New(rand.NewSource(4)))
+	x := randBatch(rand.New(rand.NewSource(5)), 64, 29)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < x.Rows; r++ {
+			net.Forward1(x.Row(r))
+		}
+	}
+}
+
+// ForwardBatchShared must be bit-identical to full per-row forwards on the
+// concatenated input.
+func TestForwardBatchSharedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := NewMLP([]int{29, 64, 1}, SELU, rng)
+	state := make([]float64, 21)
+	for i := range state {
+		state[i] = rng.NormFloat64()
+	}
+	acts := randBatch(rng, 7, 8)
+	got := net.ForwardBatchShared(state, acts).Clone()
+	full := make([]float64, 29)
+	copy(full, state)
+	for r := 0; r < acts.Rows; r++ {
+		copy(full[21:], acts.Row(r))
+		want := net.Forward1(full)
+		if got.At(r, 0) != want {
+			t.Fatalf("ForwardBatchShared[%d] = %v, Forward1 = %v", r, got.At(r, 0), want)
+		}
+	}
+}

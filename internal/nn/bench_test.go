@@ -16,6 +16,7 @@ func BenchmarkForwardPaperShape(b *testing.B) {
 	for i := range x {
 		x[i] = 0.1 * float64(i%7)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.Forward1(x)
@@ -30,6 +31,7 @@ func BenchmarkTrainStepPaperShape(b *testing.B) {
 		x[i] = 0.05 * float64(i%11)
 	}
 	target := []float64{1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.ZeroGrad()
@@ -44,6 +46,7 @@ func BenchmarkAdamStep(b *testing.B) {
 	opt := NewAdam(0.001)
 	x := make([]float64, 61)
 	target := []float64{0.5}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.ZeroGrad()

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"isrl/internal/vec"
 )
 
 // Param is a learnable tensor with its gradient accumulator.
@@ -29,6 +31,12 @@ type Layer interface {
 	// Backward consumes dL/d(output) and returns dL/d(input), accumulating
 	// parameter gradients.
 	Backward(gradOut []float64) []float64
+	// ForwardBatch is Forward over every row of x at once (see batch.go);
+	// row i of the output is bit-identical to Forward(x.Row(i)).
+	ForwardBatch(x *vec.Mat) *vec.Mat
+	// BackwardBatch is Backward over a batch of gradient rows, accumulating
+	// parameter gradients in row order.
+	BackwardBatch(gradOut *vec.Mat) *vec.Mat
 	// Params returns the learnable parameters, or nil.
 	Params() []*Param
 	// CloneLayer returns a deep copy.
@@ -45,6 +53,10 @@ type Dense struct {
 	x   []float64 // cached input
 	out []float64
 	gin []float64
+
+	xb         *vec.Mat  // cached batch input
+	outB, ginB *vec.Mat  // batch scratch, grown on demand
+	sharedH    []float64 // shared-prefix pre-activation scratch
 }
 
 // NewDense returns a Dense layer initialized with LeCun-normal weights
@@ -156,6 +168,9 @@ type Activate struct {
 	x   []float64
 	out []float64
 	gin []float64
+
+	xb         *vec.Mat
+	outB, ginB *vec.Mat
 }
 
 // NewActivate returns an activation layer of the given kind.

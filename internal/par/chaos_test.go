@@ -1,0 +1,47 @@
+package par_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"isrl/internal/core"
+	"isrl/internal/par"
+)
+
+// A panic inside a pool worker must surface through core.Guard exactly like
+// a serial panic: converted to *PanicError, workers drained, no deadlock —
+// the contract that lets algorithm serving degrade instead of dying when a
+// fault lands on a parallel path.
+func TestChaosGuardContainsWorkerPanic(t *testing.T) {
+	defer par.SetMaxWorkers(par.SetMaxWorkers(4))
+	err := core.Guard(func() {
+		par.Do(32, func(i int) {
+			if i == 7 {
+				panic("injected worker fault")
+			}
+		})
+	})
+	if err == nil {
+		t.Fatal("worker panic not converted to an error")
+	}
+	var pe *core.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %T (%v), want *core.PanicError", err, err)
+	}
+	tp, ok := pe.Value.(*par.TaskPanic)
+	if !ok {
+		t.Fatalf("PanicError.Value is %T, want *par.TaskPanic", pe.Value)
+	}
+	if tp.Index != 7 || !strings.Contains(tp.Error(), "injected worker fault") {
+		t.Fatalf("TaskPanic = %+v", tp)
+	}
+	// The pool must be fully usable afterwards.
+	ran := make([]bool, 8)
+	par.Do(len(ran), func(i int) { ran[i] = true })
+	for i, ok := range ran {
+		if !ok {
+			t.Fatalf("task %d did not run after contained panic", i)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package par
+
+import "isrl/internal/obs"
+
+// Pool utilization metrics: how often fan-out actually engages goroutines
+// versus falling back to the inline loop (single worker or single task),
+// and whether any worker panics were contained. Exposed with the rest of
+// the registry at /metrics.
+var (
+	doRuns       = obs.Default().Counter("par.do_runs")
+	doTasks      = obs.Default().Counter("par.do_tasks")
+	inlineRuns   = obs.Default().Counter("par.inline_runs")
+	taskPanics   = obs.Default().Counter("par.task_panics")
+	workersGauge = obs.Default().Gauge("par.workers")
+)
+
+func init() {
+	workersGauge.Set(int64(Workers()))
+}

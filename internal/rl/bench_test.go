@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -37,6 +38,7 @@ func BenchmarkTrainBatch64(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	a := NewAgent(21, 8, Config{}, rng) // EA shape at d=4
 	batch := benchBatch(rng, 21, 8, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.TrainBatch(batch)
@@ -54,6 +56,7 @@ func BenchmarkBestOf5(b *testing.B) {
 			actions[i][j] = rng.Float64()
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.Best(state, actions)
@@ -66,8 +69,53 @@ func BenchmarkPrioritizedSample(b *testing.B) {
 	for i := 0; i < 5000; i++ {
 		p.Add(Transition{Reward: rng.Float64()})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Sample(rng, 64)
+	}
+}
+
+// benchActions builds a candidate set of k action-feature vectors.
+func benchActions(rng *rand.Rand, k, dim int) [][]float64 {
+	actions := make([][]float64, k)
+	for i := range actions {
+		actions[i] = make([]float64, dim)
+		for j := range actions[i] {
+			actions[i][j] = rng.Float64()
+		}
+	}
+	return actions
+}
+
+// Serial-vs-batched candidate scoring at the EA d=4 shape (state 21, action
+// 8): the pre-batching path scored each candidate with one full forward.
+func BenchmarkScoreCandidatesSerial(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewAgent(21, 8, Config{}, rng)
+	state := make([]float64, 21)
+	actions := benchActions(rng, 64, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		best, bq := 0, math.Inf(-1)
+		for k, act := range actions {
+			if q := a.Q(state, act); q > bq {
+				best, bq = k, q
+			}
+		}
+		_ = best
+	}
+}
+
+func BenchmarkScoreCandidatesBatched(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewAgent(21, 8, Config{}, rng)
+	state := make([]float64, 21)
+	actions := benchActions(rng, 64, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Best(state, actions)
 	}
 }

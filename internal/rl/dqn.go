@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"isrl/internal/nn"
+	"isrl/internal/vec"
 )
 
 // Config collects the DQN hyperparameters. Zero values select, via
@@ -101,8 +102,17 @@ type Agent struct {
 	lastLoss     float64 // loss of the most recent batch
 	lossEMA      float64 // exponential moving average of the batch loss
 
-	in  []float64 // scratch forward input
-	gin []float64 // scratch MSE grad
+	in []float64 // scratch forward input
+
+	// Batched-scoring and training scratch, preallocated so the per-round
+	// and per-update hot paths allocate nothing.
+	actMat *vec.Mat  // candidate-action rows for QBatch
+	qs     []float64 // candidate scores
+	xMat   *vec.Mat  // training-batch (s ⊕ a) rows
+	gMat   *vec.Mat  // training-batch dL/dQ rows
+	tgtMat *vec.Mat  // (next ⊕ argmax-action) rows for the target network
+	ys     []float64 // bootstrap targets
+	tgtRow []int     // batch index → tgtMat row (-1 when terminal/no actions)
 }
 
 // emaDecay smooths the training-loss EMA over roughly the last ~200
@@ -149,15 +159,58 @@ func (a *Agent) forward(net *nn.Network, state, action []float64) float64 {
 	return net.Forward1(a.in)
 }
 
+// QBatch evaluates the main network's value for state against every action
+// with one shared-prefix batched forward, storing the scores into dst (grown
+// when nil or mis-sized). dst[i] is bit-identical to Q(state, actions[i]);
+// the batch is a pure optimization.
+func (a *Agent) QBatch(state []float64, actions [][]float64, dst []float64) []float64 {
+	qs := a.qBatch(a.Main, state, actions)
+	if len(dst) != len(qs) {
+		dst = make([]float64, len(qs))
+	}
+	copy(dst, qs)
+	return dst
+}
+
+// qBatch scores state against actions on net, returning a scratch slice
+// valid until the next qBatch call.
+func (a *Agent) qBatch(net *nn.Network, state []float64, actions [][]float64) []float64 {
+	if len(state) != a.StateDim {
+		panic(fmt.Sprintf("rl: QBatch state dim %d, want %d", len(state), a.StateDim))
+	}
+	a.actMat = vec.EnsureMat(a.actMat, len(actions), a.ActionDim)
+	for i, act := range actions {
+		if len(act) != a.ActionDim {
+			panic(fmt.Sprintf("rl: QBatch action %d dim %d, want %d", i, len(act), a.ActionDim))
+		}
+		copy(a.actMat.Row(i), act)
+	}
+	out := net.ForwardBatchShared(state, a.actMat)
+	if cap(a.qs) < len(actions) {
+		a.qs = make([]float64, len(actions))
+	}
+	a.qs = a.qs[:len(actions)]
+	for i := range a.qs {
+		a.qs[i] = out.At(i, 0)
+	}
+	return a.qs
+}
+
 // Best returns the index of the action with the largest main-network
-// Q-value. It panics on an empty action set.
+// Q-value, scored in one batched forward. It panics on an empty action set.
 func (a *Agent) Best(state []float64, actions [][]float64) int {
 	if len(actions) == 0 {
 		panic("rl: Best with no actions")
 	}
+	return argmaxFirst(a.qBatch(a.Main, state, actions))
+}
+
+// argmaxFirst returns the index of the largest value, breaking ties toward
+// the smallest index — the serial loop's `q > best` rule.
+func argmaxFirst(qs []float64) int {
 	bi, bq := 0, math.Inf(-1)
-	for i, act := range actions {
-		if q := a.Q(state, act); q > bq {
+	for i, q := range qs {
+		if q > bq {
 			bi, bq = i, q
 		}
 	}
@@ -176,30 +229,64 @@ func (a *Agent) SelectEpsGreedy(rng *rand.Rand, state []float64, actions [][]flo
 	return a.Best(state, actions)
 }
 
-// nextValue computes the bootstrap value of the next state. Vanilla DQN
-// takes max over the target network; Double DQN selects the argmax with the
-// main network and evaluates it with the target network, which removes the
-// maximization bias.
-func (a *Agent) nextValue(state []float64, actions [][]float64) float64 {
-	if len(actions) == 0 {
-		return 0 // no candidate actions recorded; treat as terminal value
+// computeTargets fills a.ys with the bootstrap target r + γ·V(s′) of every
+// transition, using batched forwards throughout. Vanilla DQN takes max over
+// the target network; Double DQN selects the argmax with the main network
+// and evaluates it with the target network (one batched target pass over all
+// selected rows), which removes the maximization bias. The resulting targets
+// are bit-identical to scoring each (state, action) pair serially.
+func (a *Agent) computeTargets(batch []Transition) {
+	if cap(a.ys) < len(batch) {
+		a.ys = make([]float64, len(batch))
+		a.tgtRow = make([]int, len(batch))
 	}
-	if !a.cfg.VanillaDQN {
-		bi, bq := 0, math.Inf(-1)
-		for i, act := range actions {
-			if q := a.forward(a.Main, state, act); q > bq {
-				bi, bq = i, q
+	a.ys = a.ys[:len(batch)]
+	a.tgtRow = a.tgtRow[:len(batch)]
+
+	if a.cfg.VanillaDQN {
+		for bi, tr := range batch {
+			y := tr.Reward
+			if !tr.Terminal && len(tr.NextActions) > 0 {
+				qs := a.qBatch(a.Target, tr.Next, tr.NextActions)
+				y += a.cfg.Gamma * qs[argmaxFirst(qs)]
 			}
+			a.ys[bi] = y
 		}
-		return a.forward(a.Target, state, actions[bi])
+		return
 	}
-	best := math.Inf(-1)
-	for _, act := range actions {
-		if q := a.forward(a.Target, state, act); q > best {
-			best = q
+	// Double DQN: batched main-network argmax per transition, then one
+	// batched target pass over all the selected (next ⊕ action) rows.
+	inDim := a.StateDim + a.ActionDim
+	rows := 0
+	for bi, tr := range batch {
+		a.tgtRow[bi] = -1
+		if !tr.Terminal && len(tr.NextActions) > 0 {
+			rows++
 		}
 	}
-	return best
+	a.tgtMat = vec.EnsureMat(a.tgtMat, rows, inDim)
+	row := 0
+	for bi, tr := range batch {
+		a.ys[bi] = tr.Reward
+		if tr.Terminal || len(tr.NextActions) == 0 {
+			continue
+		}
+		best := argmaxFirst(a.qBatch(a.Main, tr.Next, tr.NextActions))
+		r := a.tgtMat.Row(row)
+		copy(r, tr.Next)
+		copy(r[a.StateDim:], tr.NextActions[best])
+		a.tgtRow[bi] = row
+		row++
+	}
+	if rows == 0 {
+		return
+	}
+	out := a.Target.ForwardBatch(a.tgtMat)
+	for bi := range batch {
+		if r := a.tgtRow[bi]; r >= 0 {
+			a.ys[bi] += a.cfg.Gamma * out.At(r, 0)
+		}
+	}
 }
 
 // TrainBatch performs one gradient step on the sampled batch, minimizing the
@@ -221,33 +308,56 @@ func (a *Agent) TrainBatchTD(batch []Transition, tdErrs []float64) (float64, []f
 		tdErrs = make([]float64, len(batch))
 	}
 	a.Main.ZeroGrad()
+	a.computeTargets(batch)
+
+	// One batched forward over every (s, a) row, then per-row loss and one
+	// batched backward. Row order matches the old per-transition loop, so
+	// gradients, loss and TD errors are bit-identical to the serial path.
+	inDim := a.StateDim + a.ActionDim
+	a.xMat = vec.EnsureMat(a.xMat, len(batch), inDim)
+	for bi, tr := range batch {
+		if len(tr.State) != a.StateDim || len(tr.Action) != a.ActionDim {
+			panic(fmt.Sprintf("rl: transition %d feature dims (%d,%d), want (%d,%d)",
+				bi, len(tr.State), len(tr.Action), a.StateDim, a.ActionDim))
+		}
+		row := a.xMat.Row(bi)
+		copy(row, tr.State)
+		copy(row[a.StateDim:], tr.Action)
+	}
+	out := a.Main.ForwardBatch(a.xMat) // caches batch activations
+
 	var total float64
 	inv := 1 / float64(len(batch))
-	pred := []float64{0}
-	tgt := []float64{0}
-	for bi, tr := range batch {
-		y := tr.Reward
-		if !tr.Terminal {
-			y += a.cfg.Gamma * a.nextValue(tr.Next, tr.NextActions)
+	delta := a.cfg.HuberDelta
+	if delta <= 0 {
+		delta = 1
+	}
+	a.gMat = vec.EnsureMat(a.gMat, len(batch), 1)
+	for bi := range batch {
+		q, y := out.At(bi, 0), a.ys[bi]
+		d := q - y
+		var loss, grad float64
+		switch {
+		case a.cfg.MSE:
+			loss, grad = 0.5*d*d, d
+		case math.Abs(d) <= delta:
+			loss, grad = 0.5*d*d, d
+		default:
+			loss = delta * (math.Abs(d) - 0.5*delta)
+			if d > 0 {
+				grad = delta
+			} else {
+				grad = -delta
+			}
 		}
-		q := a.forward(a.Main, tr.State, tr.Action) // forward caches activations
-		pred[0], tgt[0] = q, y
-		var loss float64
-		var grad []float64
-		if a.cfg.MSE {
-			loss, grad = nn.MSE(pred, tgt, a.gin)
-		} else {
-			loss, grad = nn.Huber(pred, tgt, a.gin, a.cfg.HuberDelta)
-		}
-		a.gin = grad
 		// Scale so the batch gradient is the mean.
-		grad[0] *= inv
+		a.gMat.Set(bi, 0, grad*inv)
 		total += loss * inv
 		if tdErrs != nil {
-			tdErrs[bi] = q - y
+			tdErrs[bi] = d
 		}
-		a.Main.Backward(grad)
 	}
+	a.Main.BackwardBatch(a.gMat)
 	nn.ClipGrads(a.Main.Params(), a.cfg.GradClip)
 	a.opt.Step(a.Main.Params())
 	a.updates++

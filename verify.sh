@@ -11,3 +11,10 @@ go build ./...
 go vet ./...
 go test -race ./...
 go test -race -run 'Fault|Noisy|Chaos' -count=2 ./...
+
+# Benchmark smoke: the hot-path harness must run end to end and emit
+# well-formed JSON (checked with grep to stay dependency-free).
+go run ./cmd/isrl-bench -hotpaths -quick -out /tmp/isrl_hotpaths_smoke.json
+grep -q '"speedup"' /tmp/isrl_hotpaths_smoke.json
+grep -q '"dqn_candidate_scoring"' /tmp/isrl_hotpaths_smoke.json
+rm -f /tmp/isrl_hotpaths_smoke.json
