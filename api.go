@@ -225,5 +225,5 @@ var (
 // POST /sessions/{id}/answer, DELETE /sessions/{id}). factory builds a
 // fresh algorithm per session; see cmd/isrl-serve for a complete server.
 func NewHTTPServer(ds *Dataset, eps float64, factory func() Algorithm) http.Handler {
-	return server.New(ds, eps, func() Algorithm { return factory() })
+	return server.New(ds, eps, func(int64) Algorithm { return factory() })
 }

@@ -33,7 +33,6 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux (debug listener only)
 	"os"
 	"os/signal"
-	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -47,26 +46,30 @@ import (
 	"isrl/internal/obs"
 	"isrl/internal/rl"
 	"isrl/internal/server"
+	"isrl/internal/wal"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		debugAddr  = flag.String("debug-addr", "", "pprof/debug listen address (disabled when empty)")
-		data       = flag.String("data", "car", "anti, indep, corr, car, player (ignored with -csv)")
-		csvPath    = flag.String("csv", "", "serve a CSV dataset")
-		n          = flag.Int("n", 10000, "synthetic dataset size")
-		d          = flag.Int("d", 4, "synthetic dimensionality")
-		algo       = flag.String("algo", "ea", "ea, aa, uh-random, uh-simplex")
-		eps        = flag.Float64("eps", 0.1, "regret-ratio threshold")
-		episodes   = flag.Int("episodes", 500, "training episodes for ea/aa")
-		seed       = flag.Int64("seed", 1, "random seed")
-		sessionTTL = flag.Duration("session-ttl", server.DefaultSessionTTL, "evict sessions idle longer than this (0 disables)")
-		deadline   = flag.Duration("answer-deadline", server.DefaultAnswerDeadline, "max wait for the next question before 503 (0 waits forever)")
-		faultSpec  = flag.String("fault", "", "fault-injection plan, e.g. 'lp.solve:err=0.01;geom.vertices:panic=0.001' (testing only)")
-		faultSeed  = flag.Int64("fault-seed", 1, "seed for the fault-injection plan")
-		logLevel   = flag.String("log-level", "info", "debug, info, warn, error")
-		logJSON    = flag.Bool("log-json", false, "emit JSON logs instead of text")
+		addr        = flag.String("addr", ":8080", "listen address")
+		debugAddr   = flag.String("debug-addr", "", "pprof/debug listen address (disabled when empty)")
+		data        = flag.String("data", "car", "anti, indep, corr, car, player (ignored with -csv)")
+		csvPath     = flag.String("csv", "", "serve a CSV dataset")
+		n           = flag.Int("n", 10000, "synthetic dataset size")
+		d           = flag.Int("d", 4, "synthetic dimensionality")
+		algo        = flag.String("algo", "ea", "ea, aa, uh-random, uh-simplex")
+		eps         = flag.Float64("eps", 0.1, "regret-ratio threshold")
+		episodes    = flag.Int("episodes", 500, "training episodes for ea/aa")
+		seed        = flag.Int64("seed", 1, "random seed")
+		sessionTTL  = flag.Duration("session-ttl", server.DefaultSessionTTL, "evict sessions idle longer than this (0 disables)")
+		deadline    = flag.Duration("answer-deadline", server.DefaultAnswerDeadline, "max wait for the next question before 503 (0 waits forever)")
+		stateDir    = flag.String("state-dir", "", "write-ahead journal directory; restarts recover in-flight sessions (empty disables)")
+		maxSessions = flag.Int("max-sessions", 0, "admission cap on live sessions; at capacity POST /sessions returns 429 (0 disables)")
+		answerQueue = flag.Int("answer-queue", server.DefaultAnswerQueue, "bounded answer-work queue size; excess requests shed with 503 (0 disables)")
+		faultSpec   = flag.String("fault", "", "fault-injection plan, e.g. 'lp.solve:err=0.01;geom.vertices:panic=0.001' (testing only)")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault-injection plan")
+		logLevel    = flag.String("log-level", "info", "debug, info, warn, error")
+		logJSON     = flag.Bool("log-json", false, "emit JSON logs instead of text")
 	)
 	flag.Parse()
 
@@ -95,11 +98,30 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	srv := server.New(ds, *eps, factory,
+	srvOpts := []server.Option{
 		server.WithLogger(logger),
 		server.WithSessionTTL(*sessionTTL),
 		server.WithAnswerDeadline(*deadline),
-	)
+		server.WithSessionSeed(*seed),
+		server.WithMaxSessions(*maxSessions),
+		server.WithAnswerQueue(*answerQueue),
+	}
+	var journal *wal.Log
+	var recoveredStates []wal.SessionState
+	if *stateDir != "" {
+		journal, recoveredStates, err = wal.Open(*stateDir, wal.Options{})
+		if err != nil {
+			fatalf("open journal: %v", err)
+		}
+		defer journal.Close()
+		srvOpts = append(srvOpts, server.WithJournal(journal))
+	}
+	srv := server.New(ds, *eps, factory, srvOpts...)
+	if journal != nil {
+		n := srv.Recover(recoveredStates)
+		logger.Info("journal recovery complete", "dir", *stateDir,
+			"journaled_sessions", len(recoveredStates), "recovered", n)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -207,7 +229,10 @@ func publishTraining(episodes int, avgRounds float64, stats rl.TrainStats) {
 
 // buildFactory trains RL agents once up front and hands each session its
 // own algorithm instance (the RL agents keep per-call scratch state, so
-// sessions get independent handles; baselines are cheap to rebuild).
+// sessions get independent handles; baselines are cheap to rebuild). The
+// per-session seed comes from the server, which journals it: rebuilding an
+// instance with the same seed after a restart reproduces the identical
+// question sequence, the property session replay recovery rests on.
 func buildFactory(algo string, ds *dataset.Dataset, eps float64, episodes int, seed int64, logger *slog.Logger) (server.AlgorithmFactory, error) {
 	rng := rand.New(rand.NewSource(seed))
 	trainVectors := func() [][]float64 {
@@ -234,9 +259,8 @@ func buildFactory(algo string, ds *dataset.Dataset, eps float64, episodes int, s
 		if err != nil {
 			return nil, err
 		}
-		var ctr atomic.Int64
-		return func() core.Algorithm {
-			inst, err := ea.Load(ds, eps, ea.Config{}, blob, rand.New(rand.NewSource(seed+ctr.Add(1))))
+		return func(sessionSeed int64) core.Algorithm {
+			inst, err := ea.Load(ds, eps, ea.Config{}, blob, rand.New(rand.NewSource(sessionSeed)))
 			if err != nil {
 				panic(fmt.Sprintf("isrl-serve: reload trained agent: %v", err))
 			}
@@ -258,23 +282,20 @@ func buildFactory(algo string, ds *dataset.Dataset, eps float64, episodes int, s
 		if err != nil {
 			return nil, err
 		}
-		var ctr atomic.Int64
-		return func() core.Algorithm {
-			inst, err := aa.Load(ds, eps, aa.Config{}, blob, rand.New(rand.NewSource(seed+ctr.Add(1))))
+		return func(sessionSeed int64) core.Algorithm {
+			inst, err := aa.Load(ds, eps, aa.Config{}, blob, rand.New(rand.NewSource(sessionSeed)))
 			if err != nil {
 				panic(fmt.Sprintf("isrl-serve: reload trained agent: %v", err))
 			}
 			return inst
 		}, nil
 	case "uh-random":
-		var ctr atomic.Int64
-		return func() core.Algorithm {
-			return baselines.NewUHRandom(baselines.UHConfig{}, rand.New(rand.NewSource(seed+ctr.Add(1))))
+		return func(sessionSeed int64) core.Algorithm {
+			return baselines.NewUHRandom(baselines.UHConfig{}, rand.New(rand.NewSource(sessionSeed)))
 		}, nil
 	case "uh-simplex":
-		var ctr atomic.Int64
-		return func() core.Algorithm {
-			return baselines.NewUHSimplex(baselines.UHConfig{}, rand.New(rand.NewSource(seed+ctr.Add(1))))
+		return func(sessionSeed int64) core.Algorithm {
+			return baselines.NewUHSimplex(baselines.UHConfig{}, rand.New(rand.NewSource(sessionSeed)))
 		}, nil
 	}
 	return nil, fmt.Errorf("unknown -algo %q", algo)

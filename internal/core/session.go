@@ -33,6 +33,11 @@ type Session struct {
 	done      bool
 	closed    chan struct{}
 	closeOnce sync.Once
+
+	// replay is the recorded answer prefix consumed by the algorithm
+	// goroutine before the session goes live. Only that goroutine touches it
+	// (construction happens-before the go statement).
+	replay []bool
 }
 
 // ErrSessionClosed is returned by Result when the session was aborted.
@@ -45,11 +50,28 @@ var errSessionAborted = errors.New("core: session aborted")
 // application drives. The algorithm runs in its own goroutine and blocks
 // whenever it needs an answer.
 func NewSession(alg Algorithm, ds *dataset.Dataset, eps float64) *Session {
+	return NewReplaySession(alg, ds, eps, nil)
+}
+
+// NewReplaySession is NewSession with a recorded answer prefix: the first
+// len(replay) oracle questions are answered from the trace inside the
+// algorithm goroutine — no channel round-trips, no fault injection — and
+// only then does the session go live and surface questions through Next.
+//
+// This is the crash-recovery primitive: every algorithm here is
+// deterministic given its seed and answer trace (the invariant the
+// determinism suites pin down), so feeding a journaled prefix back through
+// the oracle reconstructs the exact utility range, question sequence and
+// eventual Result of the interrupted run. If the algorithm finishes before
+// exhausting the prefix (the crash lost a finish tombstone, not answers),
+// the leftovers are ignored and Next reports done immediately.
+func NewReplaySession(alg Algorithm, ds *dataset.Dataset, eps float64, replay []bool) *Session {
 	s := &Session{
 		questions: make(chan [2][]float64),
 		answers:   make(chan bool),
 		finished:  make(chan struct{}),
 		closed:    make(chan struct{}),
+		replay:    append([]bool(nil), replay...),
 	}
 	go func() {
 		defer close(s.finished)
@@ -81,6 +103,15 @@ type sessionUser struct{ s *Session }
 // Prefer implements User. It blocks until the application answers, and
 // unwinds the algorithm goroutine when the session is closed.
 func (u sessionUser) Prefer(pi, pj []float64) bool {
+	// Replay prefix: answers already committed before a restart are fed
+	// straight back, bypassing both the channels and the chaos hook —
+	// reconstruction is internal bookkeeping, not a user interaction, and
+	// must not consume fault-injection randomness.
+	if len(u.s.replay) > 0 {
+		ans := u.s.replay[0]
+		u.s.replay = u.s.replay[1:]
+		return ans
+	}
 	// Chaos hook: injected latency models a slow user, an injected error or
 	// panic a broken one. Prefer has no error channel, so injected errors
 	// escalate to a panic contained at the session boundary.

@@ -154,3 +154,75 @@ func TestSessionWithRealAlgorithmShape(t *testing.T) {
 		t.Errorf("rounds = %d", res.Rounds)
 	}
 }
+
+// Replay recovery: a session rebuilt from a recorded answer prefix must
+// re-deliver exactly the question the interrupted run had pending, and its
+// final Result must be identical to an uninterrupted run fed the same
+// answers — the determinism invariant the crash-recovery journal rests on.
+func TestReplaySessionRecoversMidSession(t *testing.T) {
+	ds := sessionData()
+	pairs := [][2]int{{0, 1}, {2, 0}, {1, 2}}
+	answers := []bool{true, false, true}
+
+	// Uninterrupted baseline.
+	base := NewSession(fixedAlgorithm{pairs: pairs}, ds, 0.1)
+	for _, a := range answers {
+		if _, _, done := base.Next(); done {
+			t.Fatal("baseline finished early")
+		}
+		if err := base.Answer(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, done := base.Next(); !done {
+		t.Fatal("baseline not done")
+	}
+	want, err := base.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash" after two committed answers; replay the prefix.
+	s := NewReplaySession(fixedAlgorithm{pairs: pairs}, ds, 0.1, answers[:2])
+	pi, pj, done := s.Next()
+	if done {
+		t.Fatal("replayed session finished before the pending question")
+	}
+	wi, wj := ds.Points[pairs[2][0]], ds.Points[pairs[2][1]]
+	if !vec.Equal(pi, wi, 0) || !vec.Equal(pj, wj, 0) {
+		t.Fatalf("replayed session re-delivered %v vs %v, want %v vs %v", pi, pj, wi, wj)
+	}
+	if err := s.Answer(answers[2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, done := s.Next(); !done {
+		t.Fatal("replayed session not done")
+	}
+	got, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PointIndex != want.PointIndex || got.Rounds != want.Rounds {
+		t.Errorf("replayed result %+v != baseline %+v", got, want)
+	}
+	if len(got.Trace) != len(want.Trace) {
+		t.Fatalf("trace length %d != %d", len(got.Trace), len(want.Trace))
+	}
+	for i := range got.Trace {
+		if got.Trace[i] != want.Trace[i] {
+			t.Errorf("trace[%d] = %+v != %+v", i, got.Trace[i], want.Trace[i])
+		}
+	}
+}
+
+// A replay prefix longer than the algorithm needs (the crash lost the
+// finish tombstone, not answers) finishes immediately instead of hanging.
+func TestReplaySessionOverlongPrefixFinishes(t *testing.T) {
+	s := NewReplaySession(fixedAlgorithm{pairs: [][2]int{{0, 1}}}, sessionData(), 0.1, []bool{true, false, true})
+	if _, _, done := s.Next(); !done {
+		t.Fatal("overlong prefix should complete the session")
+	}
+	if _, err := s.Result(); err != nil {
+		t.Fatal(err)
+	}
+}

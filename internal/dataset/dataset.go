@@ -47,6 +47,33 @@ func (d *Dataset) Clone() *Dataset {
 	return c
 }
 
+// Fingerprint hashes the exact float bits of every tuple (FNV-1a over
+// shape + IEEE-754 words). Two datasets share a fingerprint iff every
+// dot-product an algorithm can compute over them is bit-identical — the
+// precondition for replaying a journaled answer trace against "the same"
+// dataset after a restart.
+func (d *Dataset) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(d.Len()))
+	mix(uint64(d.Dim()))
+	for _, p := range d.Points {
+		for _, v := range p {
+			mix(math.Float64bits(v))
+		}
+	}
+	return h
+}
+
 // Validate checks the dataset invariants: rectangular shape and all values
 // in (0,1].
 func (d *Dataset) Validate() error {

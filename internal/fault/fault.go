@@ -31,20 +31,35 @@ import (
 // Well-known injection point names. Production hooks use these constants;
 // plans may also name points of their own for application-level hooks.
 const (
-	PointLPSolve  = "lp.solve"      // internal/lp: one simplex solve
-	PointVertices = "geom.vertices" // internal/geom: one vertex enumeration
-	PointSample   = "geom.sample"   // internal/geom: one hit-and-run sampling run
-	PointOracle   = "core.oracle"   // internal/core: one session oracle question
+	PointLPSolve   = "lp.solve"      // internal/lp: one simplex solve
+	PointVertices  = "geom.vertices" // internal/geom: one vertex enumeration
+	PointSample    = "geom.sample"   // internal/geom: one hit-and-run sampling run
+	PointOracle    = "core.oracle"   // internal/core: one session oracle question
+	PointWALWrite  = "wal.write"     // internal/wal: one journal record write
+	PointWALSync   = "wal.sync"      // internal/wal: one journal fsync
+	PointWALRename = "wal.rename"    // internal/wal: one segment rename (rotation/compaction)
 )
 
 // ErrInjected is the sentinel wrapped by every injected error; callers test
 // provenance with errors.Is(err, fault.ErrInjected).
 var ErrInjected = errors.New("fault: injected error")
 
+// ErrTornWrite is the sentinel for a torn-write fault: the injection point
+// should persist only a prefix of the data it was about to write (modeling a
+// power cut mid-write) and then fail. It wraps ErrInjected, so generic
+// provenance checks keep working.
+var ErrTornWrite = fmt.Errorf("%w: torn write", ErrInjected)
+
 // Spec configures one injection point.
+//
+// TornProb shares ErrProb's random draw so arming it never perturbs the
+// fault sequence of other points under a fixed seed: a single roll r injects
+// a torn write when r < TornProb and a plain error when
+// TornProb ≤ r < TornProb+ErrProb.
 type Spec struct {
 	ErrProb   float64       // probability of returning an injected error per hit
 	PanicProb float64       // probability of panicking per hit
+	TornProb  float64       // probability of returning ErrTornWrite per hit (disk points)
 	Latency   time.Duration // delay added to every armed hit
 	After     int           // number of initial hits to pass through unarmed
 	Err       error         // error payload; nil selects a default wrapping ErrInjected
@@ -121,7 +136,7 @@ func (p *Plan) hit(point string) error {
 	if armed {
 		panicRoll, errRoll = p.rng.Float64(), p.rng.Float64()
 	}
-	if armed && (panicRoll < spec.PanicProb || errRoll < spec.ErrProb) {
+	if armed && (panicRoll < spec.PanicProb || errRoll < spec.TornProb+spec.ErrProb) {
 		p.inj[point]++
 	}
 	p.mu.Unlock()
@@ -137,7 +152,11 @@ func (p *Plan) hit(point string) error {
 		mPanics.Inc()
 		panic(fmt.Sprintf("fault: injected panic at %q (hit %d)", point, n))
 	}
-	if errRoll < spec.ErrProb {
+	if errRoll < spec.TornProb {
+		mErrors.Inc()
+		return fmt.Errorf("%w at %q (hit %d)", ErrTornWrite, point, n)
+	}
+	if errRoll < spec.TornProb+spec.ErrProb {
 		mErrors.Inc()
 		if spec.Err != nil {
 			return spec.Err
@@ -174,8 +193,9 @@ func Hit(point string) error {
 //
 //	point:key=value,key=value[;point:...]
 //
-// Keys: err (error probability), panic (panic probability), lat (latency,
-// Go duration), after (hits ignored before arming). Example:
+// Keys: err (error probability), panic (panic probability), torn (torn-write
+// probability, disk points), lat (latency, Go duration), after (hits ignored
+// before arming). Example:
 //
 //	lp.solve:err=0.01;geom.vertices:panic=0.005,after=10;core.oracle:lat=50ms
 func ParsePlan(spec string, seed int64) (*Plan, error) {
@@ -201,6 +221,8 @@ func ParsePlan(spec string, seed int64) (*Plan, error) {
 				s.ErrProb, err = strconv.ParseFloat(val, 64)
 			case "panic":
 				s.PanicProb, err = strconv.ParseFloat(val, 64)
+			case "torn":
+				s.TornProb, err = strconv.ParseFloat(val, 64)
 			case "lat":
 				s.Latency, err = time.ParseDuration(val)
 			case "after":
@@ -229,8 +251,8 @@ func (p *Plan) String() string {
 	parts := make([]string, 0, len(names))
 	for _, name := range names {
 		s := p.specs[name]
-		parts = append(parts, fmt.Sprintf("%s{err=%g panic=%g lat=%s after=%d}",
-			name, s.ErrProb, s.PanicProb, s.Latency, s.After))
+		parts = append(parts, fmt.Sprintf("%s{err=%g panic=%g torn=%g lat=%s after=%d}",
+			name, s.ErrProb, s.PanicProb, s.TornProb, s.Latency, s.After))
 	}
 	return strings.Join(parts, " ")
 }

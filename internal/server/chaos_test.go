@@ -240,7 +240,7 @@ func TestServerFaultAnswerDeadline(t *testing.T) {
 func testServerWith(t *testing.T, opts ...Option) (*Server, *dataset.Dataset) {
 	t.Helper()
 	ds := dataset.Anticorrelated(rand.New(rand.NewSource(1)), 500, 3).Skyline()
-	srv := New(ds, 0.1, func() core.Algorithm {
+	srv := New(ds, 0.1, func(int64) core.Algorithm {
 		return baselines.NewUHSimplex(baselines.UHConfig{}, rand.New(rand.NewSource(2)))
 	}, opts...)
 	return srv, ds

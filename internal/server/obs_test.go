@@ -24,7 +24,7 @@ func obsServer(t *testing.T, opts ...Option) (*Server, *obs.Registry, *time.Time
 	ds := dataset.Anticorrelated(rand.New(rand.NewSource(1)), 500, 3).Skyline()
 	reg := obs.NewRegistry()
 	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
-	srv := New(ds, 0.1, func() core.Algorithm {
+	srv := New(ds, 0.1, func(int64) core.Algorithm {
 		return baselines.NewUHSimplex(baselines.UHConfig{}, rand.New(rand.NewSource(2)))
 	}, append([]Option{WithRegistry(reg), WithLogger(quiet)}, opts...)...)
 	clock := time.Now()

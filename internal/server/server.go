@@ -29,6 +29,8 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
+	"math/rand"
 	"mime"
 	"net/http"
 	"strconv"
@@ -39,11 +41,15 @@ import (
 	"isrl/internal/core"
 	"isrl/internal/dataset"
 	"isrl/internal/obs"
+	"isrl/internal/wal"
 )
 
-// AlgorithmFactory builds a fresh algorithm per session. Sessions must not
-// share algorithm instances: the DQN agents keep per-call scratch state.
-type AlgorithmFactory func() core.Algorithm
+// AlgorithmFactory builds a fresh algorithm per session, seeded with the
+// session's journaled random seed. Sessions must not share algorithm
+// instances (the DQN agents keep per-call scratch state), and the same seed
+// must always yield a behaviorally identical instance: that determinism is
+// what lets crash recovery rebuild a session by replaying its answer trace.
+type AlgorithmFactory func(seed int64) core.Algorithm
 
 // DefaultSessionTTL is how long an untouched session survives before the
 // sweeper closes it.
@@ -53,12 +59,28 @@ const DefaultSessionTTL = 30 * time.Minute
 // algorithm goroutine to produce the next question before answering 503.
 const DefaultAnswerDeadline = 30 * time.Second
 
+// DefaultAnswerQueue bounds how many requests may simultaneously drive
+// session state (block on the algorithm goroutine). Past the bound the
+// server sheds with 503 + Retry-After instead of piling up goroutines
+// behind slow geometry.
+const DefaultAnswerQueue = 256
+
 // maxAnswerBytes bounds answer request bodies; {"prefer_first": bool} needs
 // a few dozen bytes, so anything past this is abuse, not data.
 const maxAnswerBytes = 4 << 10
 
-// retryAfterSeconds is the Retry-After hint on 503 responses.
+// retryAfterSeconds is the base Retry-After hint on 503/429 responses; the
+// emitted value is jittered ±20% (see retryAfter) so synchronized clients
+// don't retry in lockstep.
 const retryAfterSeconds = 1
+
+// retryAfter returns the jittered Retry-After hint in whole seconds. The
+// jitter is applied in milliseconds and ceiled back up, so even a 1-second
+// base spreads retries across two buckets instead of one thundering herd.
+func retryAfter() int {
+	ms := float64(retryAfterSeconds) * 1000 * (0.8 + 0.4*rand.Float64())
+	return int(math.Ceil(ms / 1000))
+}
 
 // session pairs a live core.Session with its bookkeeping. mu serializes all
 // protocol calls (Next/Answer/Result) on the underlying core.Session, which
@@ -75,15 +97,20 @@ type session struct {
 // Server is the HTTP handler. Create with New and mount it anywhere (it
 // implements http.Handler).
 type Server struct {
-	ds       *dataset.Dataset
-	eps      float64
-	factory  AlgorithmFactory
-	log      *slog.Logger
-	reg      *obs.Registry
-	ttl      time.Duration
-	deadline time.Duration
-	start    time.Time
-	now      func() time.Time // injectable clock for TTL tests
+	ds          *dataset.Dataset
+	eps         float64
+	factory     AlgorithmFactory
+	log         *slog.Logger
+	reg         *obs.Registry
+	ttl         time.Duration
+	deadline    time.Duration
+	start       time.Time
+	now         func() time.Time // injectable clock for TTL tests
+	journal     *wal.Log         // nil: sessions are memory-only
+	fingerprint uint64           // dataset fingerprint journaled with each create
+	baseSeed    int64            // per-session seeds are baseSeed+id ordinal
+	maxSessions int              // admission gate; 0 disables
+	work        chan struct{}    // bounded answer-work queue; nil disables
 
 	mu        sync.Mutex
 	sessions  map[string]*session
@@ -91,16 +118,21 @@ type Server struct {
 	lastSweep time.Time
 
 	// Hot-path instruments, resolved once at construction.
-	inFlight  *obs.Gauge
-	active    *obs.Gauge
-	created   *obs.Counter
-	finished  *obs.Counter
-	aborted   *obs.Counter
-	evicted   *obs.Counter
-	rounds    *obs.Histogram
-	encodeErr *obs.Counter
-	degraded  *obs.Counter
-	panics    *obs.Counter
+	inFlight   *obs.Gauge
+	active     *obs.Gauge
+	created    *obs.Counter
+	finished   *obs.Counter
+	aborted    *obs.Counter
+	evicted    *obs.Counter
+	rounds     *obs.Histogram
+	encodeErr  *obs.Counter
+	degraded   *obs.Counter
+	panics     *obs.Counter
+	recovered  *obs.Counter
+	recSkipped *obs.Counter
+	journalErr *obs.Counter
+	shedFull   *obs.Counter
+	shedQueue  *obs.Counter
 }
 
 // Option configures a Server.
@@ -141,19 +173,60 @@ func WithAnswerDeadline(d time.Duration) Option {
 	return func(s *Server) { s.deadline = d }
 }
 
+// WithJournal attaches a write-ahead journal: session creates, committed
+// answers and finish/abort/expiry tombstones are logged (fsync-on-commit)
+// so a restarted server can re-materialize in-flight sessions with
+// Recover. Journal failures degrade durability, never availability — the
+// session keeps serving and the fault surfaces on /healthz and in
+// sessions.journal_errors.
+func WithJournal(j *wal.Log) Option {
+	return func(s *Server) { s.journal = j }
+}
+
+// WithSessionSeed sets the base of the per-session random-seed sequence
+// (session N runs its algorithm with seed base+N). The seed is journaled at
+// creation, so recovery rebuilds the identical algorithm instance.
+func WithSessionSeed(base int64) Option {
+	return func(s *Server) { s.baseSeed = base }
+}
+
+// WithMaxSessions caps concurrently live sessions. At capacity,
+// POST /sessions sheds with 429 + Retry-After while existing sessions keep
+// answering. Zero or negative disables the gate.
+func WithMaxSessions(n int) Option {
+	return func(s *Server) { s.maxSessions = n }
+}
+
+// WithAnswerQueue bounds how many requests may simultaneously drive session
+// state; excess requests shed with 503 + Retry-After instead of stacking
+// goroutines behind slow geometry. Zero or negative disables the bound
+// (default DefaultAnswerQueue).
+func WithAnswerQueue(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.work = make(chan struct{}, n)
+		} else {
+			s.work = nil
+		}
+	}
+}
+
 // New builds a server for the given (already skyline-preprocessed) dataset
 // and regret threshold.
 func New(ds *dataset.Dataset, eps float64, factory AlgorithmFactory, opts ...Option) *Server {
 	s := &Server{
-		ds:       ds,
-		eps:      eps,
-		factory:  factory,
-		log:      slog.Default(),
-		reg:      obs.Default(),
-		ttl:      DefaultSessionTTL,
-		deadline: DefaultAnswerDeadline,
-		now:      time.Now,
-		sessions: make(map[string]*session),
+		ds:          ds,
+		eps:         eps,
+		factory:     factory,
+		log:         slog.Default(),
+		reg:         obs.Default(),
+		ttl:         DefaultSessionTTL,
+		deadline:    DefaultAnswerDeadline,
+		now:         time.Now,
+		sessions:    make(map[string]*session),
+		fingerprint: ds.Fingerprint(),
+		baseSeed:    1,
+		work:        make(chan struct{}, DefaultAnswerQueue),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -170,7 +243,104 @@ func New(ds *dataset.Dataset, eps float64, factory AlgorithmFactory, opts ...Opt
 	s.encodeErr = s.reg.Counter("http.encode_errors")
 	s.degraded = s.reg.Counter("sessions.degraded")
 	s.panics = s.reg.Counter("server.panics_recovered")
+	s.recovered = s.reg.Counter("sessions.recovered")
+	s.recSkipped = s.reg.Counter("sessions.recovery_skipped")
+	s.journalErr = s.reg.Counter("sessions.journal_errors")
+	s.shedFull = s.reg.Counter("server.shed.max_sessions")
+	s.shedQueue = s.reg.Counter("server.shed.queue_full")
 	return s
+}
+
+// Recover re-materializes unfinished journaled sessions: each one gets a
+// fresh algorithm instance built from its journaled seed, and the committed
+// answer prefix is replayed through the oracle before the session goes
+// live — valid because the algorithms are deterministic given seed + trace.
+// Tombstoned sessions are refused outright, as are sessions journaled
+// against a different dataset fingerprint, threshold or algorithm (the
+// operator changed flags between runs; replaying would silently produce a
+// different search). Returns how many sessions came back.
+func (s *Server) Recover(states []wal.SessionState) int {
+	n := 0
+	maxID := 0
+	for _, st := range states {
+		var ord int
+		if _, err := fmt.Sscanf(st.ID, "s%d", &ord); err == nil && ord > maxID {
+			maxID = ord
+		}
+		if st.Finished {
+			continue // tombstoned: finished, aborted or expired — stay dead
+		}
+		if st.Fingerprint != s.fingerprint {
+			s.recSkipped.Inc()
+			s.log.Warn("recovery skipped: dataset fingerprint mismatch", "id", st.ID)
+			continue
+		}
+		if st.Eps != s.eps {
+			s.recSkipped.Inc()
+			s.log.Warn("recovery skipped: eps mismatch", "id", st.ID, "journaled", st.Eps, "serving", s.eps)
+			continue
+		}
+		alg := s.factory(st.Seed)
+		if alg.Name() != st.Algo {
+			s.recSkipped.Inc()
+			s.log.Warn("recovery skipped: algorithm mismatch", "id", st.ID, "journaled", st.Algo, "serving", alg.Name())
+			continue
+		}
+		e := &session{
+			sess:      core.NewReplaySession(alg, s.ds, s.eps, st.Answers),
+			lastTouch: s.now(),
+		}
+		s.mu.Lock()
+		s.sessions[st.ID] = e
+		s.active.Set(int64(len(s.sessions)))
+		s.mu.Unlock()
+		s.recovered.Inc()
+		n++
+		s.log.Info("session recovered", "id", st.ID, "answers", len(st.Answers))
+	}
+	s.mu.Lock()
+	if maxID > s.nextID {
+		s.nextID = maxID // never reuse a journaled id
+	}
+	s.mu.Unlock()
+	return n
+}
+
+// journalCreate/journalAnswer/journalFinish wrap the journal hooks with the
+// degrade-don't-fail policy: a disk fault is logged and counted, and
+// surfaces on /healthz via the journal's sticky error, but never turns into
+// a client-visible failure.
+func (s *Server) journalCreate(id, algo string, seed int64) {
+	if s.journal == nil {
+		return
+	}
+	err := s.journal.AppendCreate(wal.SessionState{
+		ID: id, Algo: algo, Eps: s.eps, Seed: seed, Fingerprint: s.fingerprint,
+	})
+	if err != nil {
+		s.journalErr.Inc()
+		s.log.Warn("journal create failed", "id", id, "err", err)
+	}
+}
+
+func (s *Server) journalAnswer(id string, prefer bool) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.AppendAnswer(id, prefer); err != nil {
+		s.journalErr.Inc()
+		s.log.Warn("journal answer failed", "id", id, "err", err)
+	}
+}
+
+func (s *Server) journalFinish(id, reason string) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.AppendFinish(id, reason); err != nil {
+		s.journalErr.Inc()
+		s.log.Warn("journal finish failed", "id", id, "reason", reason, "err", err)
+	}
 }
 
 // questionPayload is the JSON shape of one pairwise question.
@@ -266,12 +436,20 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 			s.methodNotAllowed(w, r, http.MethodPost)
 			return "create_session"
 		}
+		if !s.acquireWork(w) {
+			return "create_session"
+		}
 		s.create(w)
+		s.releaseWork()
 		return "create_session"
 	case len(parts) == 2 && parts[0] == "sessions":
 		switch r.Method {
 		case http.MethodGet:
+			if !s.acquireWork(w) {
+				return "get_session"
+			}
 			s.state(w, parts[1])
+			s.releaseWork()
 			return "get_session"
 		case http.MethodDelete:
 			s.abort(w, parts[1])
@@ -285,7 +463,11 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 			s.methodNotAllowed(w, r, http.MethodPost)
 			return "answer"
 		}
+		if !s.acquireWork(w) {
+			return "answer"
+		}
 		s.answer(w, r, parts[1])
+		s.releaseWork()
 		return "answer"
 	default:
 		s.httpError(w, http.StatusNotFound, "no route for %s %s", r.Method, r.URL.Path)
@@ -300,18 +482,34 @@ func (s *Server) methodNotAllowed(w http.ResponseWriter, r *http.Request, allowe
 }
 
 // healthz is the liveness probe: the process is up and the dataset loaded.
+// With a journal attached it doubles as the durability probe: a sticky
+// write/fsync error flips status to "degraded" — the server still answers,
+// but commits are no longer guaranteed on disk.
 func (s *Server) healthz(w http.ResponseWriter) {
 	s.mu.Lock()
 	active := len(s.sessions)
 	s.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	s.encode(w, map[string]any{
+	payload := map[string]any{
 		"status":          "ok",
 		"uptime_s":        s.now().Sub(s.start).Seconds(),
 		"dataset_tuples":  s.ds.Len(),
 		"dataset_dim":     s.ds.Dim(),
 		"active_sessions": active,
-	})
+	}
+	if s.journal != nil {
+		j := map[string]any{
+			"enabled":      true,
+			"dir":          s.journal.Dir(),
+			"fsync_errors": s.journal.FsyncErrors(),
+		}
+		if err := s.journal.Err(); err != nil {
+			j["error"] = err.Error()
+			payload["status"] = "degraded"
+		}
+		payload["journal"] = j
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.encode(w, payload)
 }
 
 // metrics exports the registry: JSON by default, expvar-style text with
@@ -335,12 +533,26 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) create(w http.ResponseWriter) {
 	now := s.now()
 	s.mu.Lock()
+	if s.maxSessions > 0 && len(s.sessions) >= s.maxSessions {
+		n := len(s.sessions)
+		s.mu.Unlock()
+		s.shedFull.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter()))
+		s.httpError(w, http.StatusTooManyRequests,
+			"session capacity reached (%d live); retry later", n)
+		return
+	}
 	s.nextID++
 	id := fmt.Sprintf("s%d", s.nextID)
-	e := &session{sess: core.NewSession(s.factory(), s.ds, s.eps), lastTouch: now}
+	seed := s.baseSeed + int64(s.nextID)
+	alg := s.factory(seed)
+	e := &session{sess: core.NewSession(alg, s.ds, s.eps), lastTouch: now}
 	s.sessions[id] = e
 	s.active.Set(int64(len(s.sessions)))
 	s.mu.Unlock()
+	// Journal before the id is revealed to the client: no answer for this
+	// session can be journaled (or even sent) until the create is durable.
+	s.journalCreate(id, alg.Name(), seed)
 	s.created.Inc()
 	s.respondState(w, id, e, http.StatusCreated)
 }
@@ -415,6 +627,13 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, id string) {
 		return
 	}
 	err := e.sess.Answer(body.PreferFirst)
+	if err == nil {
+		// Commit the answer to the journal before releasing the session
+		// lock, so journaled round order always matches session order. A
+		// crash after Answer but before the append loses at most this one
+		// answer: recovery then re-delivers the same question.
+		s.journalAnswer(id, body.PreferFirst)
+	}
 	e.mu.Unlock()
 	if err != nil {
 		s.httpError(w, http.StatusConflict, "%v", err)
@@ -427,9 +646,34 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, id string) {
 // produce the next state within the configured deadline. The session stays
 // alive; the client should simply retry.
 func (s *Server) notReady(w http.ResponseWriter, id string) {
-	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter()))
 	s.httpError(w, http.StatusServiceUnavailable,
 		"session %q not ready within %s; retry", id, s.deadline)
+}
+
+// acquireWork reserves a slot on the bounded answer-work queue, shedding
+// with 503 + Retry-After when the server is already driving as many
+// sessions as configured. Pair with releaseWork.
+func (s *Server) acquireWork(w http.ResponseWriter) bool {
+	if s.work == nil {
+		return true
+	}
+	select {
+	case s.work <- struct{}{}:
+		return true
+	default:
+		s.shedQueue.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter()))
+		s.httpError(w, http.StatusServiceUnavailable,
+			"answer-work queue full (%d slots); retry", cap(s.work))
+		return false
+	}
+}
+
+func (s *Server) releaseWork() {
+	if s.work != nil {
+		<-s.work
+	}
 }
 
 func (s *Server) abort(w http.ResponseWriter, id string) {
@@ -443,6 +687,7 @@ func (s *Server) abort(w http.ResponseWriter, id string) {
 		return
 	}
 	e.sess.Close()
+	s.journalFinish(id, wal.ReasonAborted)
 	s.aborted.Inc()
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -493,6 +738,7 @@ func (s *Server) respondState(w http.ResponseWriter, id string, e *session, stat
 		s.active.Set(int64(len(s.sessions)))
 		s.mu.Unlock()
 		if present {
+			s.journalFinish(id, wal.ReasonFinished)
 			s.finished.Inc()
 			if err == nil {
 				s.rounds.Observe(float64(res.Rounds))
@@ -551,16 +797,22 @@ func (s *Server) sweepExpired(now time.Time) int {
 	}
 	s.mu.Lock()
 	var victims []*session
+	var victimIDs []string
 	for id, e := range s.sessions {
 		if now.Sub(e.lastTouch) > s.ttl {
 			delete(s.sessions, id)
 			victims = append(victims, e)
+			victimIDs = append(victimIDs, id)
 		}
 	}
 	s.active.Set(int64(len(s.sessions)))
 	s.mu.Unlock()
-	for _, e := range victims {
+	for i, e := range victims {
 		e.sess.Close()
+		// Journal the expiry tombstone: eviction must be as durable as
+		// creation, or a restart would resurrect sessions the TTL already
+		// killed (and leak their goroutines all over again).
+		s.journalFinish(victimIDs[i], wal.ReasonExpired)
 	}
 	if len(victims) > 0 {
 		s.evicted.Add(int64(len(victims)))

@@ -18,7 +18,7 @@ import (
 func testServer(t *testing.T) (*Server, *dataset.Dataset) {
 	t.Helper()
 	ds := dataset.Anticorrelated(rand.New(rand.NewSource(1)), 500, 3).Skyline()
-	srv := New(ds, 0.1, func() core.Algorithm {
+	srv := New(ds, 0.1, func(int64) core.Algorithm {
 		return baselines.NewUHSimplex(baselines.UHConfig{}, rand.New(rand.NewSource(2)))
 	})
 	return srv, ds
@@ -157,7 +157,7 @@ func TestServerConcurrentSessions(t *testing.T) {
 
 func BenchmarkServerFullSession(b *testing.B) {
 	ds := dataset.Anticorrelated(rand.New(rand.NewSource(1)), 500, 3).Skyline()
-	srv := New(ds, 0.1, func() core.Algorithm {
+	srv := New(ds, 0.1, func(int64) core.Algorithm {
 		return baselines.NewUHSimplex(baselines.UHConfig{}, rand.New(rand.NewSource(2)))
 	})
 	truth := core.SimulatedUser{Utility: []float64{0.2, 0.5, 0.3}}

@@ -1,0 +1,154 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// recover scans every segment in seq order, rebuilds the session mirror,
+// and leaves the log ready for appends. Corruption — a short header, an
+// absurd length, a CRC mismatch, an undecodable payload — ends the scan:
+// the longest valid record prefix is kept, the offending segment is
+// truncated at the last good offset, and any later segments are dropped.
+// The journal never refuses to boot over a torn tail; it degrades and
+// counts.
+func (l *Log) recover() error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: read dir: %w", err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		if seq, ok := parseSegName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	if len(seqs) == 0 {
+		return l.openSegment(1)
+	}
+	sort.Ints(seqs)
+
+	for i, seq := range seqs {
+		valid, total, err := l.scanSegment(filepath.Join(l.dir, segName(seq)))
+		if err != nil {
+			return err
+		}
+		if valid == total {
+			continue
+		}
+		// Corrupted tail: truncate this segment to its valid prefix and
+		// drop everything after it in the sequence.
+		mCorrupt.Inc()
+		mTruncBytes.Add(total - valid)
+		if err := os.Truncate(filepath.Join(l.dir, segName(seq)), valid); err != nil {
+			return fmt.Errorf("wal: truncate corrupt tail: %w", err)
+		}
+		for _, later := range seqs[i+1:] {
+			if info, err := os.Stat(filepath.Join(l.dir, segName(later))); err == nil {
+				mTruncBytes.Add(info.Size())
+			}
+			os.Remove(filepath.Join(l.dir, segName(later)))
+			mSegsDropped.Inc()
+		}
+		seqs = seqs[:i+1]
+		break
+	}
+
+	for _, st := range l.sessions {
+		if !st.Finished {
+			mRecovered.Inc()
+			mRecoveredAns.Add(int64(len(st.Answers)))
+		} else {
+			l.dead++
+		}
+	}
+	return l.openSegment(seqs[len(seqs)-1])
+}
+
+// scanSegment reads records from one segment file, applying each valid one
+// to the session mirror. It returns the byte offset of the last valid
+// record's end and the file size; valid < total signals a corrupted tail.
+func (l *Log) scanSegment(path string) (valid, total int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: open segment: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: stat segment: %w", err)
+	}
+	total = info.Size()
+	var off int64
+	hdr := make([]byte, frameHeaderLen)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			return off, total, nil // clean EOF or torn header: prefix ends here
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecordBytes {
+			return off, total, nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return off, total, nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return off, total, nil
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return off, total, nil
+		}
+		l.applyRecord(rec)
+		off += frameHeaderLen + int64(n)
+	}
+}
+
+// applyRecord folds one valid record into the session mirror. Duplicates
+// (from a compaction that crashed between rename and cleanup) are skipped:
+// creates for known ids are no-ops and answers carry an explicit round
+// index, so replaying the same record twice cannot double-feed an answer.
+func (l *Log) applyRecord(rec record) {
+	switch rec.Kind {
+	case KindCreate:
+		if _, dup := l.sessions[rec.ID]; dup {
+			return
+		}
+		l.sessions[rec.ID] = &SessionState{ID: rec.ID, Algo: rec.Algo, Eps: rec.Eps, Seed: rec.Seed, Fingerprint: rec.FP}
+	case KindAnswer:
+		st, ok := l.sessions[rec.ID]
+		if !ok {
+			mOrphanRecords.Inc()
+			return
+		}
+		if rec.Round <= len(st.Answers) {
+			return // duplicate
+		}
+		if rec.Round != len(st.Answers)+1 {
+			mOrphanRecords.Inc() // gap: a lost record upstream; keep the prefix
+			return
+		}
+		st.Answers = append(st.Answers, rec.Prefer)
+	case KindFinish:
+		st, ok := l.sessions[rec.ID]
+		if !ok {
+			mOrphanRecords.Inc()
+			return
+		}
+		st.Finished, st.Reason = true, rec.Reason
+	default:
+		mOrphanRecords.Inc()
+	}
+}

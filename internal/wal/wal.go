@@ -1,0 +1,491 @@
+// Package wal is a write-ahead journal for interactive sessions: an
+// append-only, CRC-framed, fsync-on-commit record log that makes a serving
+// process crash-safe. Because every algorithm in this repository is
+// deterministic given its seed and answer trace (the invariant the
+// determinism test suites pin down), a session's entire state can be
+// reconstructed by replaying its journaled answers — no polytope snapshots,
+// no custom serialization, just three tiny record kinds:
+//
+//	create  {id, algorithm, eps, seed, dataset fingerprint}
+//	answer  {id, round index, prefer-first}
+//	finish  {id, reason}        — the tombstone: finished | aborted | expired
+//
+// On-disk format: numbered segment files (wal-00000001.log, ...) holding
+// length- and CRC32-framed JSON records. Appends fsync before returning
+// (commit durability); segments rotate at a size threshold; tombstone-heavy
+// logs are compacted by rewriting only live sessions into a fresh segment
+// via the atomic temp+rename pattern. Recovery tolerates torn and corrupted
+// tails: the longest valid record prefix wins, the rest is truncated away
+// and counted, never panicked over.
+//
+// Fault injection: writes, fsyncs and renames are threaded through
+// internal/fault points (wal.write / wal.sync / wal.rename, including
+// torn-write truncation), so chaos tests can kill and recover a server
+// under injected disk failure.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"isrl/internal/fault"
+	"isrl/internal/obs"
+)
+
+// Kind discriminates journal records.
+type Kind uint8
+
+// Record kinds. Values are stable on-disk identifiers; never renumber.
+const (
+	KindCreate Kind = 1
+	KindAnswer Kind = 2
+	KindFinish Kind = 3
+)
+
+// Finish reasons written with KindFinish tombstones.
+const (
+	ReasonFinished = "finished"
+	ReasonAborted  = "aborted"
+	ReasonExpired  = "expired"
+)
+
+// record is the JSON payload inside one frame.
+type record struct {
+	Kind   Kind    `json:"k"`
+	ID     string  `json:"id"`
+	Algo   string  `json:"algo,omitempty"`
+	Eps    float64 `json:"eps,omitempty"`
+	Seed   int64   `json:"seed,omitempty"`
+	FP     uint64  `json:"fp,omitempty"`
+	Round  int     `json:"n,omitempty"`   // 1-based answer index within the session
+	Prefer bool    `json:"a,omitempty"`   // answer payload
+	Reason string  `json:"why,omitempty"` // finish payload
+}
+
+// SessionState is one session reconstructed from (or about to enter) the
+// journal: the creation parameters plus the committed answer prefix.
+type SessionState struct {
+	ID          string
+	Algo        string
+	Eps         float64
+	Seed        int64
+	Fingerprint uint64
+	Answers     []bool
+	Finished    bool   // a tombstone was journaled
+	Reason      string // tombstone reason when Finished
+}
+
+// Options tunes a Log. The zero value selects production defaults.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size.
+	// Default 4 MiB.
+	SegmentBytes int64
+	// CompactDeadSessions triggers compaction once at least this many
+	// tombstoned sessions sit in the log. Default 256.
+	CompactDeadSessions int
+}
+
+func (o *Options) defaults() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.CompactDeadSessions <= 0 {
+		o.CompactDeadSessions = 256
+	}
+}
+
+// frameHeader is uint32 payload length + uint32 CRC32(payload), little
+// endian. maxRecordBytes rejects absurd lengths when scanning a corrupted
+// log (a flipped bit in the length field must not allocate gigabytes).
+const (
+	frameHeaderLen = 8
+	maxRecordBytes = 1 << 20
+)
+
+// Journal metrics, process-wide like the fault counters so a chaos run is
+// auditable from /metrics.
+var (
+	mAppends       = obs.Default().Counter("wal.appends")
+	mFsyncs        = obs.Default().Counter("wal.fsyncs")
+	mFsyncErrors   = obs.Default().Counter("wal.fsync_errors")
+	mWriteErrors   = obs.Default().Counter("wal.write_errors")
+	mCorrupt       = obs.Default().Counter("wal.corrupt_records")
+	mTruncBytes    = obs.Default().Counter("wal.truncated_bytes")
+	mSegsDropped   = obs.Default().Counter("wal.segments_dropped")
+	mRotations     = obs.Default().Counter("wal.rotations")
+	mCompactions   = obs.Default().Counter("wal.compactions")
+	mRecovered     = obs.Default().Counter("wal.recovered_sessions")
+	mRecoveredAns  = obs.Default().Counter("wal.recovered_answers")
+	mOrphanRecords = obs.Default().Counter("wal.orphan_records")
+)
+
+// Log is an open journal. All methods are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	active   *os.File
+	actSeq   int
+	actSize  int64
+	sessions map[string]*SessionState // full in-memory mirror, incl. tombstoned
+	dead     int                      // tombstoned sessions not yet compacted away
+	sticky   error                    // first write/sync failure; surfaces on /healthz
+	fsyncErr int64                    // count of fsync failures on this Log
+	closed   bool
+}
+
+// segName renders the file name of segment seq.
+func segName(seq int) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// parseSegName extracts the sequence number, reporting ok=false for files
+// that are not journal segments.
+func parseSegName(name string) (int, bool) {
+	var seq int
+	if _, err := fmt.Sscanf(name, "wal-%08d.log", &seq); err != nil || segName(seq) != name {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Open replays the journal in dir (creating the directory if needed),
+// truncates any corrupted tail, and returns the log ready for appends plus
+// every session found — tombstoned ones included, so callers can refuse to
+// resurrect them.
+func Open(dir string, opts Options) (*Log, []SessionState, error) {
+	opts.defaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, sessions: make(map[string]*SessionState)}
+	if err := l.recover(); err != nil {
+		return nil, nil, err
+	}
+	states := l.snapshotStates()
+	return l, states, nil
+}
+
+// snapshotStates deep-copies the session mirror in a stable order.
+func (l *Log) snapshotStates() []SessionState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SessionState, 0, len(l.sessions))
+	for _, st := range l.sessions {
+		cp := *st
+		cp.Answers = append([]bool(nil), st.Answers...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Dir returns the journal directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Err returns the sticky write/fsync error, if any: the journal keeps
+// accepting appends after a disk fault (availability over durability), but
+// the degradation must surface on health checks.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sticky
+}
+
+// FsyncErrors returns how many fsyncs failed on this Log.
+func (l *Log) FsyncErrors() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fsyncErr
+}
+
+// Close syncs and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.active == nil {
+		return nil
+	}
+	err := l.active.Sync()
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	l.active = nil
+	return err
+}
+
+// AppendCreate journals a session birth. st.Answers and st.Finished are
+// ignored (a new session has neither).
+func (l *Log) AppendCreate(st SessionState) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.sessions[st.ID]; dup {
+		return fmt.Errorf("wal: duplicate session id %q", st.ID)
+	}
+	err := l.append(record{Kind: KindCreate, ID: st.ID, Algo: st.Algo, Eps: st.Eps, Seed: st.Seed, FP: st.Fingerprint})
+	if err == nil {
+		l.sessions[st.ID] = &SessionState{ID: st.ID, Algo: st.Algo, Eps: st.Eps, Seed: st.Seed, Fingerprint: st.Fingerprint}
+	}
+	return err
+}
+
+// AppendAnswer journals one committed answer for id. The round index is
+// assigned from the in-memory mirror, which makes replay after a crashed
+// compaction idempotent (duplicate rounds are skipped on recovery).
+func (l *Log) AppendAnswer(id string, prefer bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.sessions[id]
+	if !ok {
+		return fmt.Errorf("wal: answer for unknown session %q", id)
+	}
+	err := l.append(record{Kind: KindAnswer, ID: id, Round: len(st.Answers) + 1, Prefer: prefer})
+	if err == nil {
+		st.Answers = append(st.Answers, prefer)
+	}
+	return err
+}
+
+// AppendFinish journals a tombstone for id and, when enough dead sessions
+// have accumulated, compacts the log.
+func (l *Log) AppendFinish(id, reason string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.sessions[id]
+	if !ok {
+		return fmt.Errorf("wal: finish for unknown session %q", id)
+	}
+	if st.Finished {
+		return nil
+	}
+	err := l.append(record{Kind: KindFinish, ID: id, Reason: reason})
+	if err == nil {
+		st.Finished, st.Reason = true, reason
+		l.dead++
+		if l.dead >= l.opts.CompactDeadSessions {
+			// Best-effort: compaction failure must not fail the session.
+			if cerr := l.compactLocked(); cerr != nil && l.sticky == nil {
+				l.sticky = cerr
+			}
+		}
+	}
+	return err
+}
+
+// append frames, writes and fsyncs one record into the active segment,
+// rotating first when the segment is full. Callers hold l.mu.
+func (l *Log) append(rec record) error {
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	if l.active == nil {
+		// A failed compaction left no active segment; reopen before appending.
+		if err := l.openSegment(l.actSeq + 1); err != nil {
+			return err
+		}
+	}
+	if l.actSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil && l.sticky == nil {
+			l.sticky = err // keep appending into the oversized segment
+		}
+	}
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	n, err := l.writeFrame(l.active, frame)
+	l.actSize += int64(n)
+	if err != nil {
+		mWriteErrors.Inc()
+		if l.sticky == nil {
+			l.sticky = err
+		}
+		return err
+	}
+	mAppends.Inc()
+	if err := l.syncActive(); err != nil {
+		// The record reached the OS but not necessarily the platter. Keep
+		// serving (the in-memory session is fine) but surface the hazard.
+		return nil
+	}
+	return nil
+}
+
+// writeFrame writes one frame through the wal.write fault point. A torn
+// fault persists only the first half of the frame — exactly the tail state a
+// power cut mid-write leaves behind.
+func (l *Log) writeFrame(f *os.File, frame []byte) (int, error) {
+	if err := fault.Hit(fault.PointWALWrite); err != nil {
+		if errors.Is(err, fault.ErrTornWrite) {
+			n, _ := f.Write(frame[:len(frame)/2])
+			return n, err
+		}
+		return 0, err
+	}
+	return f.Write(frame)
+}
+
+// syncActive fsyncs the active segment through the wal.sync fault point,
+// tracking failures for the health check.
+func (l *Log) syncActive() error {
+	err := fault.Hit(fault.PointWALSync)
+	if err == nil {
+		err = l.active.Sync()
+	}
+	if err != nil {
+		mFsyncErrors.Inc()
+		l.fsyncErr++
+		if l.sticky == nil {
+			l.sticky = fmt.Errorf("wal: fsync: %w", err)
+		}
+		return err
+	}
+	mFsyncs.Inc()
+	return nil
+}
+
+// encodeFrame renders len+crc+payload.
+func encodeFrame(rec record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encode record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return nil, fmt.Errorf("wal: record too large (%d bytes)", len(payload))
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderLen:], payload)
+	return frame, nil
+}
+
+// rotateLocked opens the next segment, then seals the old one. Opening
+// first means a failure leaves the old (oversized but healthy) segment
+// active instead of leaving the log with no file to append to.
+func (l *Log) rotateLocked() error {
+	old := l.active
+	if err := l.openSegment(l.actSeq + 1); err != nil {
+		return err
+	}
+	mRotations.Inc()
+	if err := old.Sync(); err != nil {
+		old.Close()
+		return fmt.Errorf("wal: seal segment: %w", err)
+	}
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("wal: seal segment: %w", err)
+	}
+	return nil
+}
+
+// openSegment opens (creating if absent) segment seq for appends.
+func (l *Log) openSegment(seq int) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: stat segment: %w", err)
+	}
+	l.active, l.actSeq, l.actSize = f, seq, info.Size()
+	return nil
+}
+
+// Compact rewrites live sessions into a fresh segment and drops everything
+// older, reclaiming tombstoned space.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.compactLocked()
+}
+
+// compactLocked writes every live session's create+answer records into a
+// new highest-numbered segment via temp+rename, then deletes all older
+// segments. A crash between rename and deletion leaves duplicate records,
+// which recovery dedupes by round index — so every step is individually
+// crash-safe. Callers hold l.mu.
+func (l *Log) compactLocked() error {
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	newSeq := l.actSeq + 1
+	tmp, err := os.CreateTemp(l.dir, "wal-compact-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	ids := make([]string, 0, len(l.sessions))
+	for id, st := range l.sessions {
+		if !st.Finished {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		st := l.sessions[id]
+		frames := make([]record, 0, len(st.Answers)+1)
+		frames = append(frames, record{Kind: KindCreate, ID: id, Algo: st.Algo, Eps: st.Eps, Seed: st.Seed, FP: st.Fingerprint})
+		for i, a := range st.Answers {
+			frames = append(frames, record{Kind: KindAnswer, ID: id, Round: i + 1, Prefer: a})
+		}
+		for _, rec := range frames {
+			frame, err := encodeFrame(rec)
+			if err != nil {
+				tmp.Close()
+				return err
+			}
+			if _, err := tmp.Write(frame); err != nil {
+				tmp.Close()
+				return fmt.Errorf("wal: compact write: %w", err)
+			}
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: compact close: %w", err)
+	}
+	if err := fault.Hit(fault.PointWALRename); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(l.dir, segName(newSeq))); err != nil {
+		return fmt.Errorf("wal: compact rename: %w", err)
+	}
+	// The compacted segment now holds everything live; retire the past.
+	old := l.active
+	l.active = nil
+	if old != nil {
+		old.Sync()
+		old.Close()
+	}
+	for seq := l.actSeq; seq > 0; seq-- {
+		name := filepath.Join(l.dir, segName(seq))
+		if _, err := os.Stat(name); err != nil {
+			break
+		}
+		os.Remove(name)
+	}
+	for id, st := range l.sessions {
+		if st.Finished {
+			delete(l.sessions, id)
+		}
+	}
+	l.dead = 0
+	mCompactions.Inc()
+	return l.openSegment(newSeq)
+}
