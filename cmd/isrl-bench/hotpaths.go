@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -16,6 +17,7 @@ import (
 	"isrl/internal/obs"
 	"isrl/internal/par"
 	"isrl/internal/rl"
+	"isrl/internal/trace"
 )
 
 // The -hotpaths mode measures the optimized hot paths against their serial
@@ -258,6 +260,27 @@ func runHotpaths(quick bool, outPath string) error {
 			}
 		}
 	}))
+
+	// Disabled-path tracing overhead: a span start attempt on a context with
+	// no active trace, the extra cost every hot-path call pays when tracing
+	// is off. This must stay at zero allocations and single-digit
+	// nanoseconds; the row both records it in the report and enforces it.
+	disabled := row("trace_disabled_span", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := trace.StartLeaf(ctx, "bench.noop")
+			sp.SetInt("n", int64(i))
+			sp.End()
+		}
+	})
+	if disabled.AllocsPerOp != 0 {
+		return fmt.Errorf("hotpaths: disabled-path span costs %d allocs/op, want 0", disabled.AllocsPerOp)
+	}
+	if disabled.NsPerOp > 100 {
+		return fmt.Errorf("hotpaths: disabled-path span costs %.1f ns/op, want ≤100", disabled.NsPerOp)
+	}
+	add(disabled)
 
 	rep.PoolMetrics = map[string]any{}
 	for k, v := range obs.Default().Snapshot() {

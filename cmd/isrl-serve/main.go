@@ -46,6 +46,7 @@ import (
 	"isrl/internal/obs"
 	"isrl/internal/rl"
 	"isrl/internal/server"
+	"isrl/internal/trace"
 	"isrl/internal/wal"
 )
 
@@ -70,6 +71,9 @@ func main() {
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault-injection plan")
 		logLevel    = flag.String("log-level", "info", "debug, info, warn, error")
 		logJSON     = flag.Bool("log-json", false, "emit JSON logs instead of text")
+		traceSample = flag.Float64("trace-sample", 1.0, "fraction of sessions traced to /debug/traces (0 disables tracing)")
+		traceSlow   = flag.Duration("trace-slow", 0, "log traces slower than this and pin them in the slow reservoir (0 disables)")
+		traceBuffer = flag.Int("trace-buffer", trace.DefaultBufferSize, "completed traces kept in the /debug/traces ring")
 	)
 	flag.Parse()
 
@@ -105,6 +109,16 @@ func main() {
 		server.WithSessionSeed(*seed),
 		server.WithMaxSessions(*maxSessions),
 		server.WithAnswerQueue(*answerQueue),
+	}
+	if *traceSample > 0 {
+		tracer := trace.New(trace.Options{
+			SampleRate:    *traceSample,
+			SlowThreshold: *traceSlow,
+			BufferSize:    *traceBuffer,
+			Logger:        logger,
+		})
+		srvOpts = append(srvOpts, server.WithTracer(tracer))
+		logger.Info("session tracing enabled", "sample", *traceSample, "buffer", *traceBuffer, "slow", *traceSlow)
 	}
 	var journal *wal.Log
 	var recoveredStates []wal.SessionState

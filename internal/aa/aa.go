@@ -9,6 +9,7 @@
 package aa
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -19,6 +20,7 @@ import (
 	"isrl/internal/geom"
 	"isrl/internal/par"
 	"isrl/internal/rl"
+	"isrl/internal/trace"
 	"isrl/internal/vec"
 )
 
@@ -147,14 +149,14 @@ type round struct {
 // computeRound derives AA's MDP view from the halfspace set: the inner
 // sphere and outer rectangle (state + stopping test) and the
 // nearest-to-center candidate questions (action space).
-func (a *AA) computeRound(poly *geom.Polytope, eps float64) (*round, error) {
+func (a *AA) computeRound(ctx context.Context, poly *geom.Polytope, eps float64) (*round, error) {
 	d := a.ds.Dim()
-	ball, err := poly.InnerBall()
+	ball, err := poly.InnerBallCtx(ctx)
 	if err != nil && a.cfg.Resilient && len(poly.Halfspaces) > 0 {
 		// Contradictory answers emptied R: drop the least consistent
 		// constraints and continue (§VI future work).
 		poly.RepairFeasibility(0)
-		ball, err = poly.InnerBall()
+		ball, err = poly.InnerBallCtx(ctx)
 	}
 	if err != nil {
 		// Empty range (noisy users): stop at the centroid.
@@ -164,7 +166,7 @@ func (a *AA) computeRound(poly *geom.Polytope, eps float64) (*round, error) {
 			degraded: true, reason: "utility range empty (contradictory answers)",
 		}, nil
 	}
-	emin, emax, err := poly.OuterRect()
+	emin, emax, err := poly.OuterRectCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("aa: %w", err)
 	}
@@ -178,7 +180,7 @@ func (a *AA) computeRound(poly *geom.Polytope, eps float64) (*round, error) {
 		r.terminal = true
 		return r, nil
 	}
-	r.actions = a.selectActions(poly, ball.Center)
+	r.actions = a.selectActions(ctx, poly, ball.Center)
 	if len(r.actions) == 0 {
 		// No hyperplane can strictly narrow R further; more questions are
 		// pointless, so stop with the midpoint estimate.
@@ -192,7 +194,8 @@ func (a *AA) computeRound(poly *geom.Polytope, eps float64) (*round, error) {
 // random pairs), keep the m_h pairs whose hyperplane is nearest the
 // inner-sphere center and properly splits R (both sides non-empty, checked
 // by LP — Lemma 8).
-func (a *AA) selectActions(poly *geom.Polytope, center []float64) []action {
+func (a *AA) selectActions(ctx context.Context, poly *geom.Polytope, center []float64) []action {
+	ctx, sp := trace.Start(ctx, "aa.select_actions")
 	type cand struct {
 		i, j int
 		dist float64
@@ -263,7 +266,7 @@ func (a *AA) selectActions(poly *geom.Polytope, center []float64) []action {
 			if hi > len(cands) {
 				hi = len(cands)
 			}
-			par.Do(hi-ci, func(k int) {
+			par.DoCtx(ctx, hi-ci, func(k int) {
 				if cuts[ci+k] != 0 {
 					return
 				}
@@ -333,6 +336,12 @@ func (a *AA) selectActions(poly *geom.Polytope, center []float64) []action {
 			}
 		}
 	}
+	if sp != nil {
+		sp.SetInt("candidates", int64(len(cands)))
+		sp.SetInt("lp_checks", int64(checks))
+		sp.SetInt("selected", int64(len(out)))
+		sp.End()
+	}
 	return out
 }
 
@@ -378,8 +387,9 @@ func (a *AA) Train(users [][]float64) (TrainStats, error) {
 }
 
 func (a *AA) episode(user core.User, epsilon float64, replay *rl.Replay) (int, error) {
+	ctx := context.Background()
 	poly := geom.NewPolytope(a.ds.Dim())
-	cur, err := a.computeRound(poly, a.eps)
+	cur, err := a.computeRound(ctx, poly, a.eps)
 	if err != nil {
 		return 0, err
 	}
@@ -395,7 +405,7 @@ func (a *AA) episode(user core.User, epsilon float64, replay *rl.Replay) (int, e
 		}
 		rounds++
 		a.maybeReduce(poly, rounds)
-		next, err := a.computeRound(poly, a.eps)
+		next, err := a.computeRound(ctx, poly, a.eps)
 		if err != nil {
 			return rounds, err
 		}
@@ -436,8 +446,8 @@ func feats(actions []action) [][]float64 {
 // safeRound is computeRound behind a panic-containment boundary: a panic in
 // the LP machinery (degenerate tableau, injected fault) surfaces as an error
 // the serving path can degrade on instead of a dead process.
-func (a *AA) safeRound(poly *geom.Polytope, eps float64) (r *round, err error) {
-	if perr := core.Guard(func() { r, err = a.computeRound(poly, eps) }); perr != nil {
+func (a *AA) safeRound(ctx context.Context, poly *geom.Polytope, eps float64) (r *round, err error) {
+	if perr := core.Guard(func() { r, err = a.computeRound(ctx, poly, eps) }); perr != nil {
 		return nil, perr
 	}
 	return r, err
@@ -452,15 +462,23 @@ func (a *AA) safeRound(poly *geom.Polytope, eps float64) (r *round, err error) {
 // session with a best-effort Degraded result scored against the last healthy
 // inner-sphere center; only a dataset mismatch is still an error.
 func (a *AA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Observer) (core.Result, error) {
+	return a.RunContext(context.Background(), ds, user, eps, obs)
+}
+
+// RunContext implements core.ContextAlgorithm: Run with per-round tracing,
+// under the same contract as ea.RunContext — every interactive round becomes
+// a "session.round" span with the LP geometry, candidate selection, scoring
+// and oracle wait as children.
+func (a *AA) RunContext(ctx context.Context, ds *dataset.Dataset, user core.User, eps float64, obs core.Observer) (core.Result, error) {
 	if ds != a.ds && (ds.Len() != a.ds.Len() || ds.Dim() != a.ds.Dim()) {
 		return core.Result{}, core.ErrDatasetMismatch
 	}
 	poly := geom.NewPolytope(a.ds.Dim())
 	var lastCenter []float64
-	var trace []core.QA
+	var qas []core.QA
 	rounds, recovered := 0, 0
 	degrade := func(reason string) (core.Result, error) {
-		res := core.BestEffortResult(a.ds, lastCenter, rounds, trace, reason)
+		res := core.BestEffortResult(a.ds, lastCenter, rounds, qas, reason)
 		res.PanicsRecovered = recovered
 		return res, nil
 	}
@@ -471,16 +489,23 @@ func (a *AA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Obse
 		}
 		return degrade(err.Error())
 	}
-	cur, err := a.safeRound(poly, eps)
+	cur, err := a.safeRound(ctx, poly, eps)
 	if err != nil {
 		return fail(err)
 	}
 	for !cur.terminal && rounds < a.cfg.MaxRounds {
 		lastCenter = cur.center
-		ai := a.agent.Best(cur.state, feats(cur.actions))
+		rctx, rsp := trace.Start(ctx, "session.round")
+		if rsp != nil {
+			rsp.SetInt("round", int64(rounds+1))
+			rsp.SetInt("candidates", int64(len(cur.actions)))
+		}
+		ai := a.agent.BestCtx(rctx, cur.state, feats(cur.actions))
 		act := cur.actions[ai]
 		pi, pj := a.ds.Points[act.I], a.ds.Points[act.J]
+		osp := trace.StartLeaf(rctx, "oracle.wait")
 		prefI := user.Prefer(pi, pj)
+		osp.End()
 		if prefI {
 			poly.Add(geom.NewHalfspace(pi, pj))
 		} else {
@@ -488,11 +513,16 @@ func (a *AA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Obse
 		}
 		rounds++
 		a.maybeReduce(poly, rounds)
-		trace = append(trace, core.QA{I: act.I, J: act.J, PreferredI: prefI})
+		qas = append(qas, core.QA{I: act.I, J: act.J, PreferredI: prefI})
 		if obs != nil {
 			obs.Round(rounds, poly.Halfspaces)
 		}
-		if cur, err = a.safeRound(poly, eps); err != nil {
+		cur, err = a.safeRound(rctx, poly, eps)
+		if rsp != nil {
+			rsp.SetBool("error", err != nil)
+			rsp.End()
+		}
+		if err != nil {
 			return fail(err)
 		}
 	}
@@ -507,7 +537,7 @@ func (a *AA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Obse
 		PointIndex:      idx,
 		Point:           a.ds.Points[idx],
 		Rounds:          rounds,
-		Trace:           trace,
+		Trace:           qas,
 		PanicsRecovered: recovered,
 	}, nil
 }

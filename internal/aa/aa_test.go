@@ -1,6 +1,7 @@
 package aa
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -172,7 +173,7 @@ func TestActionDirectionDiversity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	acts := a.selectActions(poly, ball.Center)
+	acts := a.selectActions(context.Background(), poly, ball.Center)
 	if len(acts) < 2 {
 		t.Skipf("only %d actions available", len(acts))
 	}

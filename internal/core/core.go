@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -165,6 +166,16 @@ func (f ObserverFunc) Round(round int, halfspaces []geom.Halfspace) { f(round, h
 type Algorithm interface {
 	Name() string
 	Run(ds *dataset.Dataset, user User, eps float64, obs Observer) (Result, error)
+}
+
+// ContextAlgorithm is an Algorithm whose run accepts a context. The context
+// carries values only — per-session tracing in particular — never
+// cancellation: lifecycle still belongs to the session. NewSessionCtx
+// type-asserts for this interface and prefers RunContext when present, so
+// existing Algorithm implementations keep working unchanged.
+type ContextAlgorithm interface {
+	Algorithm
+	RunContext(ctx context.Context, ds *dataset.Dataset, user User, eps float64, obs Observer) (Result, error)
 }
 
 // ErrDatasetMismatch is returned when a trained algorithm is run against a

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -50,7 +51,16 @@ var errSessionAborted = errors.New("core: session aborted")
 // application drives. The algorithm runs in its own goroutine and blocks
 // whenever it needs an answer.
 func NewSession(alg Algorithm, ds *dataset.Dataset, eps float64) *Session {
-	return NewReplaySession(alg, ds, eps, nil)
+	return NewReplaySessionCtx(context.Background(), alg, ds, eps, nil)
+}
+
+// NewSessionCtx is NewSession with a context handed to the algorithm
+// goroutine. When alg implements ContextAlgorithm its RunContext method
+// receives ctx — the hook per-session tracing rides on; otherwise ctx is
+// ignored and plain Run is called. The context carries values only: the
+// session lifecycle is still governed by Close, not ctx cancellation.
+func NewSessionCtx(ctx context.Context, alg Algorithm, ds *dataset.Dataset, eps float64) *Session {
+	return NewReplaySessionCtx(ctx, alg, ds, eps, nil)
 }
 
 // NewReplaySession is NewSession with a recorded answer prefix: the first
@@ -66,6 +76,12 @@ func NewSession(alg Algorithm, ds *dataset.Dataset, eps float64) *Session {
 // exhausting the prefix (the crash lost a finish tombstone, not answers),
 // the leftovers are ignored and Next reports done immediately.
 func NewReplaySession(alg Algorithm, ds *dataset.Dataset, eps float64, replay []bool) *Session {
+	return NewReplaySessionCtx(context.Background(), alg, ds, eps, replay)
+}
+
+// NewReplaySessionCtx is NewReplaySession with a context for the algorithm
+// goroutine (see NewSessionCtx).
+func NewReplaySessionCtx(ctx context.Context, alg Algorithm, ds *dataset.Dataset, eps float64, replay []bool) *Session {
 	s := &Session{
 		questions: make(chan [2][]float64),
 		answers:   make(chan bool),
@@ -90,7 +106,15 @@ func NewReplaySession(alg Algorithm, ds *dataset.Dataset, eps float64, replay []
 				s.err = &PanicError{Value: r, Stack: debug.Stack()}
 			}
 		}()
-		res, err := alg.Run(ds, sessionUser{s}, eps, nil)
+		var (
+			res Result
+			err error
+		)
+		if ca, ok := alg.(ContextAlgorithm); ok {
+			res, err = ca.RunContext(ctx, ds, sessionUser{s}, eps, nil)
+		} else {
+			res, err = alg.Run(ds, sessionUser{s}, eps, nil)
+		}
 		s.result, s.err = res, err
 	}()
 	return s

@@ -7,6 +7,7 @@
 package ea
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -16,6 +17,7 @@ import (
 	"isrl/internal/dataset"
 	"isrl/internal/geom"
 	"isrl/internal/rl"
+	"isrl/internal/trace"
 	"isrl/internal/vec"
 )
 
@@ -151,9 +153,9 @@ type round struct {
 // computeRound derives the MDP view of the current utility range: the
 // Lemma-6 terminal test, the two-part state vector, and the restricted
 // action pool from terminal-polyhedron representatives.
-func (e *EA) computeRound(poly *geom.Polytope, eps float64) (*round, error) {
+func (e *EA) computeRound(ctx context.Context, poly *geom.Polytope, eps float64) (*round, error) {
 	r := &round{poly: poly, stopIdx: -1}
-	verts, err := poly.Vertices()
+	verts, err := poly.VerticesCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("ea: %w", err)
 	}
@@ -161,7 +163,7 @@ func (e *EA) computeRound(poly *geom.Polytope, eps float64) (*round, error) {
 		// Contradictory answers emptied R: drop the least consistent
 		// constraints and continue (§VI future work).
 		poly.RepairFeasibility(0)
-		if verts, err = poly.Vertices(); err != nil {
+		if verts, err = poly.VerticesCtx(ctx); err != nil {
 			return nil, fmt.Errorf("ea: %w", err)
 		}
 	}
@@ -194,7 +196,7 @@ func (e *EA) computeRound(poly *geom.Polytope, eps float64) (*round, error) {
 	for _, t := range e.ds.TopPoints(verts, nil) {
 		tops[t] = true
 	}
-	if samples, err := poly.Sample(e.rng, e.cfg.NumSamples, geom.SampleOptions{}); err == nil {
+	if samples, err := poly.SampleCtx(ctx, e.rng, e.cfg.NumSamples, geom.SampleOptions{}); err == nil {
 		for _, t := range e.ds.TopPoints(samples, nil) {
 			tops[t] = true
 		}
@@ -313,8 +315,8 @@ func (e *EA) fallbackPoint(poly *geom.Polytope) int {
 // safeRound is computeRound behind a panic-containment boundary: a panic in
 // the LP/vertex machinery (degenerate polytope, injected fault) surfaces as
 // an error the serving path can degrade on instead of a dead process.
-func (e *EA) safeRound(poly *geom.Polytope, eps float64) (r *round, err error) {
-	if perr := core.Guard(func() { r, err = e.computeRound(poly, eps) }); perr != nil {
+func (e *EA) safeRound(ctx context.Context, poly *geom.Polytope, eps float64) (r *round, err error) {
+	if perr := core.Guard(func() { r, err = e.computeRound(ctx, poly, eps) }); perr != nil {
 		return nil, perr
 	}
 	return r, err
@@ -381,8 +383,9 @@ func (e *EA) Train(users [][]float64) (TrainStats, error) {
 // transitions (training); with epsilon 0 and nil replay it is pure greedy
 // inference. It returns the number of rounds and feeds obs if non-nil.
 func (e *EA) episode(user core.User, epsilon float64, replay *rl.Replay, obs core.Observer) (int, error) {
+	ctx := context.Background()
 	poly := geom.NewPolytope(e.ds.Dim())
-	cur, err := e.computeRound(poly, e.eps)
+	cur, err := e.computeRound(ctx, poly, e.eps)
 	if err != nil {
 		return 0, err
 	}
@@ -411,7 +414,7 @@ func (e *EA) episode(user core.User, epsilon float64, replay *rl.Replay, obs cor
 		if obs != nil {
 			obs.Round(rounds, poly.Halfspaces)
 		}
-		next, err := e.computeRound(poly, e.eps)
+		next, err := e.computeRound(ctx, poly, e.eps)
 		if err != nil {
 			return rounds, err
 		}
@@ -472,6 +475,15 @@ func feats(actions []action) [][]float64 {
 // instead of an error or a dead process. Only a dataset mismatch, which is a
 // caller bug, still fails outright.
 func (e *EA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Observer) (core.Result, error) {
+	return e.RunContext(context.Background(), ds, user, eps, obs)
+}
+
+// RunContext implements core.ContextAlgorithm: Run with per-round tracing.
+// When ctx carries an active trace every interactive round is recorded as a
+// "session.round" span — candidate count and degradation flags attached —
+// with the geometry, scoring and oracle wait as children. With a plain
+// context it is exactly Run.
+func (e *EA) RunContext(ctx context.Context, ds *dataset.Dataset, user core.User, eps float64, obs core.Observer) (core.Result, error) {
 	if ds != e.ds && (ds.Len() != e.ds.Len() || ds.Dim() != e.ds.Dim()) {
 		return core.Result{}, core.ErrDatasetMismatch
 	}
@@ -481,10 +493,10 @@ func (e *EA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Obse
 
 	poly := geom.NewPolytope(e.ds.Dim())
 	var lastCenter []float64
-	var trace []core.QA
+	var qas []core.QA
 	rounds, recovered := 0, 0
 	degrade := func(reason string) (core.Result, error) {
-		res := core.BestEffortResult(e.ds, lastCenter, rounds, trace, reason)
+		res := core.BestEffortResult(e.ds, lastCenter, rounds, qas, reason)
 		res.PanicsRecovered = recovered
 		return res, nil
 	}
@@ -495,7 +507,7 @@ func (e *EA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Obse
 		}
 		return degrade(err.Error())
 	}
-	cur, err := e.safeRound(poly, eps)
+	cur, err := e.safeRound(ctx, poly, eps)
 	if err != nil {
 		return fail(err)
 	}
@@ -506,10 +518,17 @@ func (e *EA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Obse
 		if len(cur.actions) == 0 {
 			break
 		}
-		ai := e.agent.Best(cur.state, feats(cur.actions))
+		rctx, rsp := trace.Start(ctx, "session.round")
+		if rsp != nil {
+			rsp.SetInt("round", int64(rounds+1))
+			rsp.SetInt("candidates", int64(len(cur.actions)))
+		}
+		ai := e.agent.BestCtx(rctx, cur.state, feats(cur.actions))
 		act := cur.actions[ai]
 		pi, pj := e.ds.Points[act.I], e.ds.Points[act.J]
+		osp := trace.StartLeaf(rctx, "oracle.wait")
 		prefI := user.Prefer(pi, pj)
+		osp.End()
 		if prefI {
 			poly.Add(geom.NewHalfspace(pi, pj))
 		} else {
@@ -517,11 +536,16 @@ func (e *EA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Obse
 		}
 		poly.ReduceRedundant()
 		rounds++
-		trace = append(trace, core.QA{I: act.I, J: act.J, PreferredI: prefI})
+		qas = append(qas, core.QA{I: act.I, J: act.J, PreferredI: prefI})
 		if obs != nil {
 			obs.Round(rounds, poly.Halfspaces)
 		}
-		if cur, err = e.safeRound(poly, eps); err != nil {
+		cur, err = e.safeRound(rctx, poly, eps)
+		if rsp != nil {
+			rsp.SetBool("error", err != nil)
+			rsp.End()
+		}
+		if err != nil {
 			return fail(err)
 		}
 	}
@@ -539,7 +563,7 @@ func (e *EA) Run(ds *dataset.Dataset, user core.User, eps float64, obs core.Obse
 		PointIndex:      idx,
 		Point:           e.ds.Points[idx],
 		Rounds:          rounds,
-		Trace:           trace,
+		Trace:           qas,
 		PanicsRecovered: recovered,
 	}, nil
 }

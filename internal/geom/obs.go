@@ -1,6 +1,9 @@
 package geom
 
 import (
+	"context"
+	"time"
+
 	"isrl/internal/lp"
 	"isrl/internal/obs"
 )
@@ -15,11 +18,26 @@ var (
 	sampleCalls  = obs.Default().Counter("geom.sample_calls")
 	samplePoints = obs.Default().Counter("geom.sample_points")
 	vertexEnums  = obs.Default().Counter("geom.vertex_enums")
+
+	// Duration histograms over MicroBuckets: one LP solve or sampling pass
+	// runs in microseconds, below the floor of the default latency buckets.
+	lpSolveMS  = obs.Default().Histogram("geom.lp_solve_ms", obs.MicroBuckets())
+	sampleMS   = obs.Default().Histogram("geom.sample_ms", obs.MicroBuckets())
+	verticesMS = obs.Default().Histogram("geom.vertices_ms", obs.MicroBuckets())
 )
 
-// solveLP is lp.Solve with a call counter — every geometry-layer LP goes
-// through here.
+// solveLP is lp.Solve with a call counter and duration histogram — every
+// geometry-layer LP goes through here or through solveLPCtx.
 func solveLP(p *lp.Problem) lp.Result {
+	return solveLPCtx(context.Background(), p)
+}
+
+// solveLPCtx additionally attaches an lp.solve span when ctx carries an
+// active trace, so a slow round's trace shows which LPs ate the time.
+func solveLPCtx(ctx context.Context, p *lp.Problem) lp.Result {
 	lpSolves.Inc()
-	return lp.Solve(p)
+	start := time.Now()
+	res := lp.SolveCtx(ctx, p)
+	lpSolveMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	return res
 }

@@ -1,11 +1,13 @@
 package geom
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"isrl/internal/lp"
+	"isrl/internal/trace"
 	"isrl/internal/vec"
 )
 
@@ -160,6 +162,15 @@ func (p *Polytope) sideFeasible(w []float64, margin float64) bool {
 // OuterRect returns e_min and e_max, the per-dimension extrema of u over R,
 // computed with 2d LPs (paper §IV-C). It fails when R is empty.
 func (p *Polytope) OuterRect() (emin, emax []float64, err error) {
+	return p.OuterRectCtx(context.Background())
+}
+
+// OuterRectCtx is OuterRect with tracing: when ctx carries an active trace
+// the 2d solves are grouped under a "geom.outer_rect" span with each
+// lp.solve as a child.
+func (p *Polytope) OuterRectCtx(ctx context.Context) (emin, emax []float64, err error) {
+	ctx, sp := trace.Start(ctx, "geom.outer_rect")
+	defer sp.End()
 	d := p.Dim
 	emin = make([]float64, d)
 	emax = make([]float64, d)
@@ -167,13 +178,13 @@ func (p *Polytope) OuterRect() (emin, emax []float64, err error) {
 	for i := 0; i < d; i++ {
 		vec.Fill(prob.Maximize, 0)
 		prob.Maximize[i] = 1
-		res := solveLP(prob)
+		res := solveLPCtx(ctx, prob)
 		if res.Status != lp.Optimal {
 			return nil, nil, fmt.Errorf("geom: outer rect max dim %d: %v", i, res.Status)
 		}
 		emax[i] = res.Objective
 		prob.Maximize[i] = -1
-		res = solveLP(prob)
+		res = solveLPCtx(ctx, prob)
 		if res.Status != lp.Optimal {
 			return nil, nil, fmt.Errorf("geom: outer rect min dim %d: %v", i, res.Status)
 		}
@@ -193,6 +204,14 @@ type Ball struct {
 // inner-sphere LP from §IV-C (the Chebyshev center of R restricted to the
 // simplex). It fails when R is empty.
 func (p *Polytope) InnerBall() (Ball, error) {
+	return p.InnerBallCtx(context.Background())
+}
+
+// InnerBallCtx is InnerBall with tracing: the Chebyshev LP is wrapped in a
+// "geom.inner_ball" span when ctx carries an active trace.
+func (p *Polytope) InnerBallCtx(ctx context.Context) (Ball, error) {
+	ctx, sp := trace.Start(ctx, "geom.inner_ball")
+	defer sp.End()
 	d := p.Dim
 	prob := &lp.Problem{NumVars: d + 1, Maximize: make([]float64, d+1)}
 	prob.Maximize[d] = 1 // maximize radius r
@@ -220,7 +239,7 @@ func (p *Polytope) InnerBall() (Ball, error) {
 		row[d] = -1 // w·c/‖w‖ − r ≥ 0
 		prob.AddGE(row, 0)
 	}
-	res := solveLP(prob)
+	res := solveLPCtx(ctx, prob)
 	if res.Status != lp.Optimal {
 		return Ball{}, fmt.Errorf("geom: inner ball: %v", res.Status)
 	}

@@ -1,12 +1,15 @@
 package geom
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"isrl/internal/fault"
 	"isrl/internal/par"
+	"isrl/internal/trace"
 	"isrl/internal/vec"
 )
 
@@ -50,13 +53,24 @@ const defaultChains = 4
 // number of sample vectors falling inside a terminal polyhedron tracks its
 // volume fraction.
 func (p *Polytope) Sample(rng *rand.Rand, n int, opts SampleOptions) ([][]float64, error) {
+	return p.SampleCtx(context.Background(), rng, n, opts)
+}
+
+// SampleCtx is Sample with tracing: the whole draw — inner-ball LP plus the
+// chain fan-out — is timed as a "geom.sample" span annotated with the point
+// and chain counts.
+func (p *Polytope) SampleCtx(ctx context.Context, rng *rand.Rand, n int, opts SampleOptions) ([][]float64, error) {
+	ctx, sp := trace.Start(ctx, "geom.sample")
+	defer sp.End()
+	start := time.Now()
+	defer func() { sampleMS.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
 	sampleCalls.Inc()
 	samplePoints.Add(int64(n))
 	if err := fault.Hit(fault.PointSample); err != nil {
 		return nil, fmt.Errorf("geom: sample: %w", err)
 	}
 	d := p.Dim
-	ib, err := p.InnerBall()
+	ib, err := p.InnerBallCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +105,11 @@ func (p *Polytope) Sample(rng *rand.Rand, n int, opts SampleOptions) ([][]float6
 		}
 		offset[c+1] = offset[c] + q
 	}
-	par.Do(chains, func(c int) {
+	if sp != nil {
+		sp.SetInt("points", int64(n))
+		sp.SetInt("chains", int64(chains))
+	}
+	par.DoCtx(ctx, chains, func(c int) {
 		p.runChain(streams[c], ib.Center, opts, out[offset[c]:offset[c+1]])
 	})
 	return out, nil

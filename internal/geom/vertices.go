@@ -1,12 +1,15 @@
 package geom
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"isrl/internal/fault"
 	"isrl/internal/par"
+	"isrl/internal/trace"
 	"isrl/internal/vec"
 )
 
@@ -28,9 +31,20 @@ const MaxVertexBases = 2_000_000
 // (d−1)-subsets of that pool, solves each d×d system, and keeps the feasible
 // solutions, deduplicated. The result is cached until the polytope changes.
 func (p *Polytope) Vertices() ([][]float64, error) {
+	return p.VerticesCtx(context.Background())
+}
+
+// VerticesCtx is Vertices with tracing: an actual enumeration (cache-miss
+// path only) is timed as a "geom.vertices" span carrying the halfspace and
+// vertex counts, with the worker-pool fan-out as a child.
+func (p *Polytope) VerticesCtx(ctx context.Context) ([][]float64, error) {
 	if !p.vertsDirty {
 		return p.verts, nil
 	}
+	ctx, sp := trace.Start(ctx, "geom.vertices")
+	defer sp.End()
+	start := time.Now()
+	defer func() { verticesMS.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
 	vertexEnums.Inc()
 	if err := fault.Hit(fault.PointVertices); err != nil {
 		return nil, fmt.Errorf("geom: vertices: %w", err)
@@ -69,7 +83,7 @@ func (p *Polytope) Vertices() ([][]float64, error) {
 		nTasks = 0
 	}
 	locals := make([][][]float64, nTasks)
-	par.Do(nTasks, func(t int) {
+	par.DoCtx(ctx, nTasks, func(t int) {
 		locals[t] = p.enumerateVerticesFrom(pool, t)
 	})
 
@@ -88,6 +102,10 @@ func (p *Polytope) Vertices() ([][]float64, error) {
 	sort.Slice(out, func(i, j int) bool { return lexLess(out[i], out[j]) })
 	p.verts = out
 	p.vertsDirty = false
+	if sp != nil {
+		sp.SetInt("halfspaces", int64(len(p.Halfspaces)))
+		sp.SetInt("vertices", int64(len(out)))
+	}
 	return out, nil
 }
 

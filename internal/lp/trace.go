@@ -1,0 +1,23 @@
+package lp
+
+import (
+	"context"
+
+	"isrl/internal/trace"
+)
+
+// SolveCtx is Solve with a tracing leaf span: when ctx carries an active
+// trace the solve is timed as "lp.solve" with the problem shape and
+// outcome attached; otherwise it is exactly Solve plus one allocation-free
+// context lookup.
+func SolveCtx(ctx context.Context, p *Problem) Result {
+	sp := trace.StartLeaf(ctx, "lp.solve")
+	res := Solve(p)
+	if sp != nil {
+		sp.SetInt("vars", int64(p.NumVars))
+		sp.SetInt("constraints", int64(len(p.Constraints)))
+		sp.SetAttr("status", res.Status.String())
+		sp.End()
+	}
+	return res
+}

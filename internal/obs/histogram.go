@@ -67,8 +67,18 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 }
 
 // LatencyBuckets is the default bound set for millisecond latencies:
-// 0.05ms up to ~26s in ×2 steps.
-func LatencyBuckets() []float64 { return ExpBuckets(0.05, 2, 20) }
+// 0.01ms (10µs) up to ~21s in ×2 steps. The sub-millisecond floor matters
+// because the traced hot paths (LP solves, geometry probes) routinely run
+// in tens of microseconds — the former 0.05ms floor flattened them into
+// one bucket.
+func LatencyBuckets() []float64 { return ExpBuckets(0.01, 2, 22) }
+
+// MicroBuckets is the bound set for microsecond-scale observations still
+// recorded in milliseconds: 1µs up to ~1s in ×2 steps, with the implicit
+// overflow bucket catching anything slower. Use it for kernel-level
+// histograms (single LP solve, one sampling pass) where LatencyBuckets'
+// floor is still too coarse.
+func MicroBuckets() []float64 { return ExpBuckets(0.001, 2, 21) }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {

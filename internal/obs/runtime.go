@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+)
+
+// CollectRuntime refreshes the runtime.* gauges in r from the Go runtime:
+// goroutine count, heap and GC accounting, and GC pause quantiles computed
+// over the runtime's ring of recent pauses (up to the last 256 GCs). It is
+// designed to be called on each /metrics scrape — ReadMemStats briefly
+// stops the world, which is the standard, accepted cost of a scrape, not
+// of the request path.
+func CollectRuntime(r *Registry) {
+	r.Gauge("runtime.goroutines").Set(int64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("runtime.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("runtime.heap_sys_bytes").Set(int64(ms.HeapSys))
+	r.Gauge("runtime.heap_objects").Set(int64(ms.HeapObjects))
+	r.Gauge("runtime.stack_sys_bytes").Set(int64(ms.StackSys))
+	r.Gauge("runtime.next_gc_bytes").Set(int64(ms.NextGC))
+	r.Gauge("runtime.gc_runs").Set(int64(ms.NumGC))
+	r.FloatGauge("runtime.gc_cpu_fraction").Set(ms.GCCPUFraction)
+	r.FloatGauge("runtime.gc_pause_total_ms").Set(float64(ms.PauseTotalNs) / 1e6)
+
+	// PauseNs is a ring of the most recent pauses; order is irrelevant for
+	// quantiles, so sort whatever portion is populated.
+	n := int(ms.NumGC)
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	if n == 0 {
+		return
+	}
+	pauses := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pauses[i] = float64(ms.PauseNs[i]) / 1e6
+	}
+	sort.Float64s(pauses)
+	q := func(p float64) float64 {
+		idx := int(p*float64(n-1) + 0.5)
+		return pauses[idx]
+	}
+	r.FloatGauge("runtime.gc_pause_ms.p50").Set(q(0.50))
+	r.FloatGauge("runtime.gc_pause_ms.p99").Set(q(0.99))
+	r.FloatGauge("runtime.gc_pause_ms.max").Set(pauses[n-1])
+}

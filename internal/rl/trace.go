@@ -1,0 +1,32 @@
+package rl
+
+import (
+	"context"
+
+	"isrl/internal/trace"
+)
+
+// BestCtx is Best with a tracing leaf span: the batched greedy scoring is
+// timed as "rl.best" with the candidate count attached when ctx carries an
+// active trace.
+func (a *Agent) BestCtx(ctx context.Context, state []float64, actions [][]float64) int {
+	sp := trace.StartLeaf(ctx, "rl.best")
+	if sp == nil {
+		return a.Best(state, actions)
+	}
+	sp.SetInt("candidates", int64(len(actions)))
+	defer sp.End()
+	return a.Best(state, actions)
+}
+
+// TrainBatchCtx is TrainBatch with a tracing leaf span ("rl.train_step",
+// batch size attached).
+func (a *Agent) TrainBatchCtx(ctx context.Context, batch []Transition) float64 {
+	sp := trace.StartLeaf(ctx, "rl.train_step")
+	if sp == nil {
+		return a.TrainBatch(batch)
+	}
+	sp.SetInt("batch", int64(len(batch)))
+	defer sp.End()
+	return a.TrainBatch(batch)
+}

@@ -55,6 +55,10 @@ func TestHealthz(t *testing.T) {
 	if body["dataset_tuples"].(float64) <= 0 {
 		t.Errorf("healthz dataset_tuples = %v", body["dataset_tuples"])
 	}
+	// Probes must never be served from a cache between checks.
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("healthz Cache-Control = %q, want no-store", cc)
+	}
 }
 
 // drive runs one full session through the HTTP API and returns its id.
@@ -86,6 +90,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
 		t.Errorf("metrics content type %q", ct)
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("metrics Cache-Control = %q, want no-store", cc)
 	}
 	var snap map[string]json.RawMessage
 	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
@@ -140,6 +147,43 @@ func TestMetricsTextFormat(t *testing.T) {
 	if body := rec.Body.String(); !strings.Contains(body, "http.requests.healthz 1") {
 		t.Errorf("text export missing healthz counter:\n%s", body)
 	}
+}
+
+// The Prometheus exposition is reachable both by explicit ?format=prom and
+// by the Accept header a scraper sends.
+func TestMetricsPromFormat(t *testing.T) {
+	srv, _, _ := obsServer(t)
+	get(t, srv, "/healthz")
+
+	check := func(rec *httptest.ResponseRecorder, via string) {
+		t.Helper()
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d", via, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+			t.Errorf("%s: content type %q", via, ct)
+		}
+		body := rec.Body.String()
+		for _, want := range []string{
+			"# TYPE http_requests_healthz counter",
+			"http_requests_healthz 1",
+			"# TYPE runtime_goroutines gauge",
+			"# TYPE http_latency_ms_healthz histogram",
+			`http_latency_ms_healthz_bucket{le="+Inf"} 1`,
+			"http_latency_ms_healthz_count 1",
+		} {
+			if !strings.Contains(body, want+"\n") {
+				t.Errorf("%s: missing %q\n%s", via, want, body)
+			}
+		}
+	}
+	check(get(t, srv, "/metrics?format=prom"), "?format=prom")
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	check(rec, "Accept: text/plain")
 }
 
 // Middleware must attribute statuses to the right class counters even for

@@ -10,7 +10,11 @@
 //	POST /sessions/{id}/answer     body {"prefer_first": bool}
 //	DELETE /sessions/{id}          → abort
 //	GET  /healthz                  → liveness probe
-//	GET  /metrics                  → obs registry snapshot (JSON; ?format=text)
+//	GET  /metrics                  → obs registry snapshot (JSON; ?format=text
+//	                                 for expvar style, ?format=prom or a
+//	                                 text/plain Accept for Prometheus text)
+//	GET  /debug/traces             → completed per-session traces (WithTracer)
+//	GET  /debug/traces/{id}        → one trace as a span tree (?format=text)
 //
 // A question is {"first": [...], "second": [...], "attrs": [...]}; when the
 // search finishes the payload carries {"done": true, "result": {...}}.
@@ -25,6 +29,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,6 +46,7 @@ import (
 	"isrl/internal/core"
 	"isrl/internal/dataset"
 	"isrl/internal/obs"
+	"isrl/internal/trace"
 	"isrl/internal/wal"
 )
 
@@ -91,6 +97,15 @@ type session struct {
 	sess      *core.Session
 	lastTouch time.Time
 
+	// tr/root are the per-session trace and its root span when the session
+	// was sampled (nil otherwise). The algorithm goroutine appends hot-path
+	// spans concurrently with request handlers appending HTTP spans — safe,
+	// span creation is trace-mutex-protected. The trace is finished (and
+	// becomes visible on /debug/traces) when the session leaves the table:
+	// finish, abort or TTL expiry.
+	tr   *trace.Trace
+	root *trace.Span
+
 	mu sync.Mutex
 }
 
@@ -111,6 +126,7 @@ type Server struct {
 	baseSeed    int64            // per-session seeds are baseSeed+id ordinal
 	maxSessions int              // admission gate; 0 disables
 	work        chan struct{}    // bounded answer-work queue; nil disables
+	tracer      *trace.Tracer    // nil: tracing disabled, /debug/traces 404s
 
 	mu        sync.Mutex
 	sessions  map[string]*session
@@ -209,6 +225,15 @@ func WithAnswerQueue(n int) Option {
 			s.work = nil
 		}
 	}
+}
+
+// WithTracer attaches a span tracer: sampled sessions get a per-session
+// trace rooted at creation, threaded through the algorithm goroutine's hot
+// paths, and exposed at /debug/traces once the session ends. A request
+// carrying a sampled W3C traceparent header is always traced and adopts the
+// inbound trace id. Nil (the default) disables tracing entirely.
+func WithTracer(t *trace.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
 }
 
 // New builds a server for the given (already skyline-preprocessed) dataset
@@ -310,11 +335,11 @@ func (s *Server) Recover(states []wal.SessionState) int {
 // degrade-don't-fail policy: a disk fault is logged and counted, and
 // surfaces on /healthz via the journal's sticky error, but never turns into
 // a client-visible failure.
-func (s *Server) journalCreate(id, algo string, seed int64) {
+func (s *Server) journalCreate(ctx context.Context, id, algo string, seed int64) {
 	if s.journal == nil {
 		return
 	}
-	err := s.journal.AppendCreate(wal.SessionState{
+	err := s.journal.AppendCreateCtx(ctx, wal.SessionState{
 		ID: id, Algo: algo, Eps: s.eps, Seed: seed, Fingerprint: s.fingerprint,
 	})
 	if err != nil {
@@ -323,11 +348,11 @@ func (s *Server) journalCreate(id, algo string, seed int64) {
 	}
 }
 
-func (s *Server) journalAnswer(id string, prefer bool) {
+func (s *Server) journalAnswer(ctx context.Context, id string, prefer bool) {
 	if s.journal == nil {
 		return
 	}
-	if err := s.journal.AppendAnswer(id, prefer); err != nil {
+	if err := s.journal.AppendAnswerCtx(ctx, id, prefer); err != nil {
 		s.journalErr.Inc()
 		s.log.Warn("journal answer failed", "id", id, "err", err)
 	}
@@ -431,6 +456,21 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 		}
 		s.metrics(w, r)
 		return "metrics"
+	case (len(parts) == 2 || len(parts) == 3) && parts[0] == "debug" && parts[1] == "traces":
+		if r.Method != http.MethodGet {
+			s.methodNotAllowed(w, r, http.MethodGet)
+			return "debug_traces"
+		}
+		if s.tracer == nil {
+			s.httpError(w, http.StatusNotFound, "tracing disabled; start with a tracer (isrl-serve -trace-sample)")
+			return "debug_traces"
+		}
+		id := ""
+		if len(parts) == 3 {
+			id = parts[2]
+		}
+		s.tracer.HandleTraces(w, r, id)
+		return "debug_traces"
 	case len(parts) == 1 && parts[0] == "sessions":
 		if r.Method != http.MethodPost {
 			s.methodNotAllowed(w, r, http.MethodPost)
@@ -439,7 +479,7 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 		if !s.acquireWork(w) {
 			return "create_session"
 		}
-		s.create(w)
+		s.create(w, r)
 		s.releaseWork()
 		return "create_session"
 	case len(parts) == 2 && parts[0] == "sessions":
@@ -508,19 +548,32 @@ func (s *Server) healthz(w http.ResponseWriter) {
 		}
 		payload["journal"] = j
 	}
+	// Probes and scrapers must always see fresh state, never a cached copy.
+	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("Content-Type", "application/json")
 	s.encode(w, payload)
 }
 
 // metrics exports the registry: JSON by default, expvar-style text with
-// ?format=text.
+// ?format=text, Prometheus text exposition with ?format=prom or a
+// text/plain Accept header (what a Prometheus scraper sends).
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.FloatGauge("server.uptime_s").Set(s.now().Sub(s.start).Seconds())
+	obs.CollectRuntime(s.reg)
+	w.Header().Set("Cache-Control", "no-store")
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		format = "prom"
+	}
 	var err error
-	if r.URL.Query().Get("format") == "text" {
+	switch format {
+	case "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		err = s.reg.WriteProm(w)
+	case "text":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		err = s.reg.WriteText(w)
-	} else {
+	default:
 		w.Header().Set("Content-Type", "application/json")
 		err = s.reg.WriteJSON(w)
 	}
@@ -530,7 +583,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) create(w http.ResponseWriter) {
+func (s *Server) create(w http.ResponseWriter, r *http.Request) {
 	now := s.now()
 	s.mu.Lock()
 	if s.maxSessions > 0 && len(s.sessions) >= s.maxSessions {
@@ -546,15 +599,71 @@ func (s *Server) create(w http.ResponseWriter) {
 	id := fmt.Sprintf("s%d", s.nextID)
 	seed := s.baseSeed + int64(s.nextID)
 	alg := s.factory(seed)
-	e := &session{sess: core.NewSession(alg, s.ds, s.eps), lastTouch: now}
+	tr, root := s.startSessionTrace(r, id, alg.Name(), seed)
+	ctx := context.Background()
+	if root != nil {
+		ctx = trace.ContextWithSpan(ctx, root)
+	}
+	e := &session{sess: core.NewSessionCtx(ctx, alg, s.ds, s.eps), lastTouch: now, tr: tr, root: root}
 	s.sessions[id] = e
 	s.active.Set(int64(len(s.sessions)))
 	s.mu.Unlock()
 	// Journal before the id is revealed to the client: no answer for this
 	// session can be journaled (or even sent) until the create is durable.
-	s.journalCreate(id, alg.Name(), seed)
+	s.journalCreate(ctx, id, alg.Name(), seed)
 	s.created.Inc()
+	s.echoTraceparent(w, e)
 	s.respondState(w, id, e, http.StatusCreated)
+}
+
+// startSessionTrace decides whether this session is traced and opens its
+// trace. An inbound sampled W3C traceparent always wins (the trace id is
+// adopted, so the caller's distributed trace connects through); otherwise the
+// deterministic per-seed sampler decides. Returns (nil, nil) when untraced.
+func (s *Server) startSessionTrace(r *http.Request, id, algo string, seed int64) (*trace.Trace, *trace.Span) {
+	if s.tracer == nil {
+		return nil, nil
+	}
+	var tid trace.TraceID
+	if pid, _, sampled, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		if !sampled {
+			return nil, nil // explicit upstream "don't trace" decision
+		}
+		tid = pid
+	} else if !s.tracer.Sampled(seed) {
+		return nil, nil
+	}
+	tr, root := s.tracer.StartTrace("session", tid, seed)
+	if root != nil {
+		root.SetAttr("session.id", id)
+		root.SetAttr("algo", algo)
+	}
+	return tr, root
+}
+
+// echoTraceparent advertises the session's trace on the response so clients
+// can correlate (and later fetch /debug/traces/{trace-id}).
+func (s *Server) echoTraceparent(w http.ResponseWriter, e *session) {
+	if e.tr != nil && e.root != nil {
+		w.Header().Set("traceparent", trace.FormatTraceparent(e.tr.ID(), e.root.ID(), true))
+	}
+}
+
+// finishSessionTrace closes a session's trace with its final disposition,
+// making it visible on /debug/traces. Safe on untraced sessions.
+func (s *Server) finishSessionTrace(e *session, reason string, rounds int, degraded bool) {
+	if e == nil || e.tr == nil {
+		return
+	}
+	if e.root != nil {
+		e.root.SetAttr("reason", reason)
+		if rounds >= 0 {
+			e.root.SetInt("rounds", int64(rounds))
+		}
+		e.root.SetBool("degraded", degraded)
+		e.root.End()
+	}
+	e.tr.Finish()
 }
 
 // lookup fetches a session and refreshes its TTL clock.
@@ -574,6 +683,9 @@ func (s *Server) state(w http.ResponseWriter, id string) {
 		s.httpError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
+	sp := e.root.StartChild("http.get_session")
+	defer sp.End()
+	s.echoTraceparent(w, e)
 	s.respondState(w, id, e, http.StatusOK)
 }
 
@@ -602,6 +714,9 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, id string) {
 		s.httpError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
+	sp := e.root.StartChild("http.answer")
+	defer sp.End()
+	s.echoTraceparent(w, e)
 	r.Body = http.MaxBytesReader(w, r.Body, maxAnswerBytes)
 	var body answerPayload
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
@@ -632,7 +747,7 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, id string) {
 		// lock, so journaled round order always matches session order. A
 		// crash after Answer but before the append loses at most this one
 		// answer: recovery then re-delivers the same question.
-		s.journalAnswer(id, body.PreferFirst)
+		s.journalAnswer(trace.ContextWithSpan(context.Background(), sp), id, body.PreferFirst)
 	}
 	e.mu.Unlock()
 	if err != nil {
@@ -688,6 +803,7 @@ func (s *Server) abort(w http.ResponseWriter, id string) {
 	}
 	e.sess.Close()
 	s.journalFinish(id, wal.ReasonAborted)
+	s.finishSessionTrace(e, wal.ReasonAborted, -1, false)
 	s.aborted.Inc()
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -742,6 +858,9 @@ func (s *Server) respondState(w http.ResponseWriter, id string, e *session, stat
 			s.finished.Inc()
 			if err == nil {
 				s.rounds.Observe(float64(res.Rounds))
+				s.finishSessionTrace(e, wal.ReasonFinished, res.Rounds, res.Degraded)
+			} else {
+				s.finishSessionTrace(e, wal.ReasonFinished, -1, false)
 			}
 		}
 	} else {
@@ -813,6 +932,7 @@ func (s *Server) sweepExpired(now time.Time) int {
 		// creation, or a restart would resurrect sessions the TTL already
 		// killed (and leak their goroutines all over again).
 		s.journalFinish(victimIDs[i], wal.ReasonExpired)
+		s.finishSessionTrace(e, wal.ReasonExpired, -1, false)
 	}
 	if len(victims) > 0 {
 		s.evicted.Add(int64(len(victims)))

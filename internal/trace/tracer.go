@@ -1,0 +1,378 @@
+package trace
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"isrl/internal/obs"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultBufferSize  = 256
+	DefaultSlowPerName = 8
+	DefaultMaxSpans    = 512
+)
+
+// Options configures a Tracer.
+type Options struct {
+	// SampleRate is the fraction of sessions traced: <= 0 disables tracing,
+	// >= 1 traces everything. The draw is a deterministic function of the
+	// per-session seed (see Sampled), never of wall-clock entropy, so chaos
+	// and replay runs reproduce their traces exactly. An inbound sampled
+	// traceparent overrides the draw.
+	SampleRate float64
+
+	// SlowThreshold: finished traces at least this long are counted in
+	// trace.slow_traces and logged at Warn. Zero disables the slow log (the
+	// reservoir still fills — it keeps the N slowest regardless).
+	SlowThreshold time.Duration
+
+	// BufferSize bounds the completed-trace ring buffer.
+	BufferSize int
+
+	// SlowPerName bounds the slow reservoir: the N longest-duration traces
+	// retained per root name, surviving ring eviction.
+	SlowPerName int
+
+	// MaxSpans caps spans per trace; excess spans are dropped (counted on
+	// the trace and in trace.spans_dropped) so one pathological session
+	// cannot balloon memory.
+	MaxSpans int
+
+	Logger   *slog.Logger  // default slog.Default()
+	Registry *obs.Registry // default obs.Default()
+}
+
+// Tracer owns completed traces: a fixed ring buffer of the most recent
+// plus a per-name reservoir of the slowest, both served at /debug/traces.
+// A nil *Tracer is a valid disabled tracer.
+type Tracer struct {
+	rate     float64
+	slow     time.Duration
+	maxSpans int
+	slowPer  int
+	log      *slog.Logger
+
+	started      *obs.Counter
+	finishedC    *obs.Counter
+	evicted      *obs.Counter
+	spansDropped *obs.Counter
+	slowTraces   *obs.Counter
+
+	mu         sync.Mutex
+	ring       []*Trace
+	pos        int
+	slowByName map[string][]*Trace
+}
+
+// New builds a Tracer from opts.
+func New(opts Options) *Tracer {
+	if opts.BufferSize <= 0 {
+		opts.BufferSize = DefaultBufferSize
+	}
+	if opts.SlowPerName <= 0 {
+		opts.SlowPerName = DefaultSlowPerName
+	}
+	if opts.MaxSpans <= 0 {
+		opts.MaxSpans = DefaultMaxSpans
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	if opts.Registry == nil {
+		opts.Registry = obs.Default()
+	}
+	return &Tracer{
+		rate:         opts.SampleRate,
+		slow:         opts.SlowThreshold,
+		maxSpans:     opts.MaxSpans,
+		slowPer:      opts.SlowPerName,
+		log:          opts.Logger,
+		started:      opts.Registry.Counter("trace.traces_started"),
+		finishedC:    opts.Registry.Counter("trace.traces_finished"),
+		evicted:      opts.Registry.Counter("trace.traces_evicted"),
+		spansDropped: opts.Registry.Counter("trace.spans_dropped"),
+		slowTraces:   opts.Registry.Counter("trace.slow_traces"),
+		ring:         make([]*Trace, opts.BufferSize),
+		slowByName:   make(map[string][]*Trace),
+	}
+}
+
+// Sampled reports whether the session with the given seed should be
+// traced. The draw hashes the seed (splitmix64, mapped to [0,1)) rather
+// than consuming any RNG stream, so it perturbs neither algorithm
+// determinism nor fault-injection randomness, and the same seed always
+// draws the same verdict.
+func (t *Tracer) Sampled(seed int64) bool {
+	if t == nil || t.rate <= 0 {
+		return false
+	}
+	if t.rate >= 1 {
+		return true
+	}
+	u := float64(mix64(uint64(seed)+0x9e3779b97f4a7c15)>>11) / (1 << 53)
+	return u < t.rate
+}
+
+// StartTrace opens a trace and its root span. A zero id derives the trace
+// ID deterministically from seed (adopting an inbound traceparent means
+// passing its ID instead). Returns (nil, nil) on a nil tracer.
+func (t *Tracer) StartTrace(name string, id TraceID, seed int64) (*Trace, *Span) {
+	if t == nil {
+		return nil, nil
+	}
+	if id.IsZero() {
+		const golden = uint64(0x9e3779b97f4a7c15)
+		binary.BigEndian.PutUint64(id[:8], mix64(uint64(seed)+golden))
+		binary.BigEndian.PutUint64(id[8:], mix64(uint64(seed)+golden+golden))
+		if id.IsZero() {
+			id[15] = 1
+		}
+	}
+	tr := &Trace{
+		tracer:   t,
+		id:       id,
+		name:     name,
+		start:    time.Now(),
+		rngState: binary.BigEndian.Uint64(id[:8]) ^ uint64(seed),
+	}
+	t.started.Inc()
+	return tr, tr.newSpan(name, SpanID{})
+}
+
+// finish seals tr (clipping any still-open spans), inserts it into the
+// ring and the slow reservoir, and emits the slow-trace log when the
+// threshold is breached.
+func (t *Tracer) finish(tr *Trace) {
+	now := time.Now()
+	tr.mu.Lock()
+	if tr.finished {
+		tr.mu.Unlock()
+		return
+	}
+	tr.finished = true
+	tr.dur = now.Sub(tr.start)
+	for _, s := range tr.spans {
+		if !s.ended {
+			s.dur = now.Sub(s.start) // clipped, not ended: renders as unfinished
+		}
+	}
+	dur, name, spans := tr.dur, tr.name, len(tr.spans)
+	tr.mu.Unlock()
+
+	t.finishedC.Inc()
+	t.mu.Lock()
+	if t.ring[t.pos] != nil {
+		t.evicted.Inc()
+	}
+	t.ring[t.pos] = tr
+	t.pos = (t.pos + 1) % len(t.ring)
+	res := append(t.slowByName[name], tr)
+	sort.SliceStable(res, func(i, j int) bool { return res[i].dur > res[j].dur })
+	if len(res) > t.slowPer {
+		res = res[:t.slowPer]
+	}
+	t.slowByName[name] = res
+	t.mu.Unlock()
+
+	if t.slow > 0 && dur >= t.slow {
+		t.slowTraces.Inc()
+		t.log.Warn("slow trace",
+			"trace", tr.id.String(), "name", name,
+			"ms", float64(dur)/float64(time.Millisecond), "spans", spans)
+	}
+}
+
+// find returns the completed trace with the given hex ID, scanning the
+// ring and the slow reservoir.
+func (t *Tracer) find(hexID string) *Trace {
+	id, ok := ParseTraceID(hexID)
+	if !ok {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tr := range t.ring {
+		if tr != nil && tr.id == id {
+			return tr
+		}
+	}
+	for _, res := range t.slowByName {
+		for _, tr := range res {
+			if tr.id == id {
+				return tr
+			}
+		}
+	}
+	return nil
+}
+
+// traceSummary is one row of the /debug/traces list.
+type traceSummary struct {
+	ID           string    `json:"id"`
+	Name         string    `json:"name"`
+	Start        time.Time `json:"start"`
+	DurationMS   float64   `json:"duration_ms"`
+	Spans        int       `json:"spans"`
+	DroppedSpans int       `json:"dropped_spans,omitempty"`
+}
+
+// spanNode is one node of the single-trace tree view.
+type spanNode struct {
+	ID         string            `json:"id"`
+	Name       string            `json:"name"`
+	StartUS    int64             `json:"start_us"` // offset from trace start
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Unfinished bool              `json:"unfinished,omitempty"`
+	Children   []*spanNode       `json:"children,omitempty"`
+}
+
+func (tr *Trace) summary() traceSummary {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return traceSummary{
+		ID:           tr.id.String(),
+		Name:         tr.name,
+		Start:        tr.start,
+		DurationMS:   float64(tr.dur) / float64(time.Millisecond),
+		Spans:        len(tr.spans),
+		DroppedSpans: tr.dropped,
+	}
+}
+
+// tree renders the span forest. Spans whose parent was dropped by the
+// span cap (or never ended before a panic) surface as extra roots rather
+// than vanishing.
+func (tr *Trace) tree() []*spanNode {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	nodes := make(map[SpanID]*spanNode, len(tr.spans))
+	var roots []*spanNode
+	for _, s := range tr.spans {
+		n := &spanNode{
+			ID:         s.id.String(),
+			Name:       s.name,
+			StartUS:    s.start.Sub(tr.start).Microseconds(),
+			DurationMS: float64(s.dur) / float64(time.Millisecond),
+			Unfinished: !s.ended,
+		}
+		if len(s.attrs) > 0 {
+			n.Attrs = make(map[string]string, len(s.attrs))
+			for _, a := range s.attrs {
+				n.Attrs[a.Key] = a.Value
+			}
+		}
+		nodes[s.id] = n
+		// Spans append in creation order, so a live parent precedes its
+		// children and is already in the map.
+		if parent, ok := nodes[s.parent]; ok && !s.parent.IsZero() {
+			parent.Children = append(parent.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// HandleTraces serves the /debug/traces endpoints. id is the path suffix:
+// empty for the list view, a hex trace ID for the tree view (add
+// ?format=text for an indented ASCII tree).
+func (t *Tracer) HandleTraces(w http.ResponseWriter, r *http.Request, id string) {
+	if id == "" {
+		t.serveList(w)
+		return
+	}
+	tr := t.find(id)
+	if tr == nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprintf(w, "{\"error\":\"no completed trace %q\"}\n", id)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var b strings.Builder
+		sum := tr.summary()
+		fmt.Fprintf(&b, "%s %s %.3fms spans=%d\n", sum.ID, sum.Name, sum.DurationMS, sum.Spans)
+		for _, n := range tr.tree() {
+			writeTextNode(&b, n, 1)
+		}
+		_, _ = w.Write([]byte(b.String()))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{
+		"trace": tr.summary(),
+		"spans": tr.tree(),
+	})
+}
+
+func writeTextNode(b *strings.Builder, n *spanNode, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(b, "%s %.3fms", n.Name, n.DurationMS)
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(b, " %s=%s", k, n.Attrs[k])
+		}
+	}
+	if n.Unfinished {
+		b.WriteString(" (unfinished)")
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		writeTextNode(b, c, depth+1)
+	}
+}
+
+// serveList renders the ring (newest first) and the slow reservoir.
+func (t *Tracer) serveList(w http.ResponseWriter) {
+	t.mu.Lock()
+	recent := make([]*Trace, 0, len(t.ring))
+	for _, tr := range t.ring {
+		if tr != nil {
+			recent = append(recent, tr)
+		}
+	}
+	slowest := make(map[string][]*Trace, len(t.slowByName))
+	for name, res := range t.slowByName {
+		slowest[name] = append([]*Trace(nil), res...)
+	}
+	t.mu.Unlock()
+
+	sort.Slice(recent, func(i, j int) bool { return recent[i].start.After(recent[j].start) })
+	recentJSON := make([]traceSummary, len(recent))
+	for i, tr := range recent {
+		recentJSON[i] = tr.summary()
+	}
+	slowJSON := make(map[string][]traceSummary, len(slowest))
+	for name, res := range slowest {
+		rows := make([]traceSummary, len(res))
+		for i, tr := range res {
+			rows[i] = tr.summary()
+		}
+		slowJSON[name] = rows
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{
+		"traces":  recentJSON,
+		"slowest": slowJSON,
+	})
+}

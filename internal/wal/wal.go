@@ -25,6 +25,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -34,9 +35,11 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"isrl/internal/fault"
 	"isrl/internal/obs"
+	"isrl/internal/trace"
 )
 
 // Kind discriminates journal records.
@@ -124,6 +127,10 @@ var (
 	mRecovered     = obs.Default().Counter("wal.recovered_sessions")
 	mRecoveredAns  = obs.Default().Counter("wal.recovered_answers")
 	mOrphanRecords = obs.Default().Counter("wal.orphan_records")
+
+	// mFsyncMS times individual fsyncs — the dominant append cost and the
+	// first thing to look at when commit latency spikes.
+	mFsyncMS = obs.Default().Histogram("wal.fsync_ms", obs.LatencyBuckets())
 )
 
 // Log is an open journal. All methods are safe for concurrent use.
@@ -227,12 +234,19 @@ func (l *Log) Close() error {
 // AppendCreate journals a session birth. st.Answers and st.Finished are
 // ignored (a new session has neither).
 func (l *Log) AppendCreate(st SessionState) error {
+	return l.AppendCreateCtx(context.Background(), st)
+}
+
+// AppendCreateCtx is AppendCreate with tracing: the framed write and its
+// fsync show up as "wal.append" / "wal.fsync" spans when ctx carries an
+// active trace.
+func (l *Log) AppendCreateCtx(ctx context.Context, st SessionState) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, dup := l.sessions[st.ID]; dup {
 		return fmt.Errorf("wal: duplicate session id %q", st.ID)
 	}
-	err := l.append(record{Kind: KindCreate, ID: st.ID, Algo: st.Algo, Eps: st.Eps, Seed: st.Seed, FP: st.Fingerprint})
+	err := l.append(ctx, record{Kind: KindCreate, ID: st.ID, Algo: st.Algo, Eps: st.Eps, Seed: st.Seed, FP: st.Fingerprint})
 	if err == nil {
 		l.sessions[st.ID] = &SessionState{ID: st.ID, Algo: st.Algo, Eps: st.Eps, Seed: st.Seed, Fingerprint: st.Fingerprint}
 	}
@@ -243,13 +257,18 @@ func (l *Log) AppendCreate(st SessionState) error {
 // assigned from the in-memory mirror, which makes replay after a crashed
 // compaction idempotent (duplicate rounds are skipped on recovery).
 func (l *Log) AppendAnswer(id string, prefer bool) error {
+	return l.AppendAnswerCtx(context.Background(), id, prefer)
+}
+
+// AppendAnswerCtx is AppendAnswer with tracing (see AppendCreateCtx).
+func (l *Log) AppendAnswerCtx(ctx context.Context, id string, prefer bool) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	st, ok := l.sessions[id]
 	if !ok {
 		return fmt.Errorf("wal: answer for unknown session %q", id)
 	}
-	err := l.append(record{Kind: KindAnswer, ID: id, Round: len(st.Answers) + 1, Prefer: prefer})
+	err := l.append(ctx, record{Kind: KindAnswer, ID: id, Round: len(st.Answers) + 1, Prefer: prefer})
 	if err == nil {
 		st.Answers = append(st.Answers, prefer)
 	}
@@ -259,6 +278,11 @@ func (l *Log) AppendAnswer(id string, prefer bool) error {
 // AppendFinish journals a tombstone for id and, when enough dead sessions
 // have accumulated, compacts the log.
 func (l *Log) AppendFinish(id, reason string) error {
+	return l.AppendFinishCtx(context.Background(), id, reason)
+}
+
+// AppendFinishCtx is AppendFinish with tracing (see AppendCreateCtx).
+func (l *Log) AppendFinishCtx(ctx context.Context, id, reason string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	st, ok := l.sessions[id]
@@ -268,7 +292,7 @@ func (l *Log) AppendFinish(id, reason string) error {
 	if st.Finished {
 		return nil
 	}
-	err := l.append(record{Kind: KindFinish, ID: id, Reason: reason})
+	err := l.append(ctx, record{Kind: KindFinish, ID: id, Reason: reason})
 	if err == nil {
 		st.Finished, st.Reason = true, reason
 		l.dead++
@@ -283,8 +307,14 @@ func (l *Log) AppendFinish(id, reason string) error {
 }
 
 // append frames, writes and fsyncs one record into the active segment,
-// rotating first when the segment is full. Callers hold l.mu.
-func (l *Log) append(rec record) error {
+// rotating first when the segment is full. Callers hold l.mu. The whole
+// commit is timed as a "wal.append" span when ctx carries an active trace.
+func (l *Log) append(ctx context.Context, rec record) error {
+	sp := trace.StartLeaf(ctx, "wal.append")
+	if sp != nil {
+		sp.SetInt("kind", int64(rec.Kind))
+		defer sp.End()
+	}
 	if l.closed {
 		return errors.New("wal: log closed")
 	}
@@ -313,7 +343,7 @@ func (l *Log) append(rec record) error {
 		return err
 	}
 	mAppends.Inc()
-	if err := l.syncActive(); err != nil {
+	if err := l.syncActive(ctx); err != nil {
 		// The record reached the OS but not necessarily the platter. Keep
 		// serving (the in-memory session is fine) but surface the hazard.
 		return nil
@@ -336,11 +366,20 @@ func (l *Log) writeFrame(f *os.File, frame []byte) (int, error) {
 }
 
 // syncActive fsyncs the active segment through the wal.sync fault point,
-// tracking failures for the health check.
-func (l *Log) syncActive() error {
+// tracking failures for the health check. The fsync is timed into
+// wal.fsync_ms and, when ctx carries an active trace, as a "wal.fsync"
+// span — fsync is where commit latency lives.
+func (l *Log) syncActive(ctx context.Context) error {
+	sp := trace.StartLeaf(ctx, "wal.fsync")
+	start := time.Now()
 	err := fault.Hit(fault.PointWALSync)
 	if err == nil {
 		err = l.active.Sync()
+	}
+	mFsyncMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	if sp != nil {
+		sp.SetBool("error", err != nil)
+		sp.End()
 	}
 	if err != nil {
 		mFsyncErrors.Inc()

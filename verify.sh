@@ -13,8 +13,11 @@ go test -race ./...
 go test -race -run 'Fault|Noisy|Chaos|Recover|Journal' -count=2 ./...
 
 # Benchmark smoke: the hot-path harness must run end to end and emit
-# well-formed JSON (checked with grep to stay dependency-free).
+# well-formed JSON (checked with grep to stay dependency-free). The
+# trace_disabled_span row doubles as the tracing-overhead gate — the
+# harness itself fails if the disabled path costs any allocations.
 go run ./cmd/isrl-bench -hotpaths -quick -out /tmp/isrl_hotpaths_smoke.json
 grep -q '"speedup"' /tmp/isrl_hotpaths_smoke.json
 grep -q '"dqn_candidate_scoring"' /tmp/isrl_hotpaths_smoke.json
+grep -q '"trace_disabled_span"' /tmp/isrl_hotpaths_smoke.json
 rm -f /tmp/isrl_hotpaths_smoke.json
