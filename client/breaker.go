@@ -1,0 +1,153 @@
+package client
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+
+	"isrl/internal/obs"
+)
+
+// breakerState is the classic three-state machine: closed (traffic flows),
+// open (fail fast), half-open (one probe in flight decides).
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// breaker is a per-host circuit breaker. One Client talks to one base URL,
+// but the host map costs nothing and keeps the breaker correct if callers
+// share a transport across clients or a proxy rewrites the host.
+type breaker struct {
+	trips    int // consecutive failures that open the circuit; <=0 disables
+	cooldown time.Duration
+	now      func() time.Time
+	log      *slog.Logger
+
+	mu    sync.Mutex
+	hosts map[string]*hostState
+
+	mOpened    *obs.Counter
+	mClosed    *obs.Counter
+	mRejected  *obs.Counter
+	mHalfOpens *obs.Counter
+}
+
+type hostState struct {
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // half-open: a probe request is already in flight
+}
+
+func newBreaker(trips int, cooldown time.Duration) *breaker {
+	return &breaker{
+		trips:    trips,
+		cooldown: cooldown,
+		now:      time.Now,
+		log:      slog.Default(),
+		hosts:    make(map[string]*hostState),
+	}
+}
+
+// bind resolves the breaker's instruments against reg. Called once from
+// client.New, after options have settled the registry choice.
+func (b *breaker) bind(reg *obs.Registry) {
+	b.mOpened = reg.Counter("client.breaker.opened")
+	b.mClosed = reg.Counter("client.breaker.closed")
+	b.mRejected = reg.Counter("client.breaker.rejected")
+	b.mHalfOpens = reg.Counter("client.breaker.half_opens")
+}
+
+// allow reports whether a request to host may proceed. In the open state it
+// rejects until the cooldown elapses, then admits exactly one half-open
+// probe whose outcome (success or failure) decides the next state.
+func (b *breaker) allow(host, sid string) bool {
+	if b.trips <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.hosts[host]
+	if h == nil {
+		h = &hostState{}
+		b.hosts[host] = h
+	}
+	switch h.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.now().Sub(h.openedAt) < b.cooldown {
+			b.mRejected.Inc()
+			return false
+		}
+		h.state = stateHalfOpen
+		h.probing = true
+		b.mHalfOpens.Inc()
+		b.log.Warn("circuit breaker half-open; sending probe", "host", host, "session", sid)
+		return true
+	default: // half-open
+		if h.probing {
+			b.mRejected.Inc()
+			return false
+		}
+		h.probing = true
+		return true
+	}
+}
+
+// success records a request that reached the server and got a definitive
+// answer (any status — even a 503 proves the host is up and talking).
+func (b *breaker) success(host string) {
+	if b.trips <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.hosts[host]
+	if h == nil {
+		return
+	}
+	if h.state != stateClosed {
+		b.mClosed.Inc()
+		b.log.Warn("circuit breaker closed", "host", host)
+	}
+	h.state = stateClosed
+	h.fails = 0
+	h.probing = false
+}
+
+// failure records a transport-level failure. trips consecutive failures
+// open the circuit; a failed half-open probe re-opens it for another
+// cooldown.
+func (b *breaker) failure(host, sid string) {
+	if b.trips <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.hosts[host]
+	if h == nil {
+		h = &hostState{}
+		b.hosts[host] = h
+	}
+	switch h.state {
+	case stateHalfOpen:
+		h.state = stateOpen
+		h.openedAt = b.now()
+		h.probing = false
+		b.mOpened.Inc()
+		b.log.Warn("circuit breaker re-opened: probe failed", "host", host, "session", sid)
+	case stateClosed:
+		h.fails++
+		if h.fails >= b.trips {
+			h.state = stateOpen
+			h.openedAt = b.now()
+			b.mOpened.Inc()
+			b.log.Warn("circuit breaker opened", "host", host, "session", sid, "consecutive_failures", h.fails)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"isrl/internal/obs"
+)
+
+func testClient(t *testing.T, base string, opts ...Option) *Client {
+	t.Helper()
+	all := append([]Option{
+		WithRegistry(obs.NewRegistry()),
+		WithJitterSeed(1),
+		WithBackoff(time.Millisecond, 5*time.Millisecond),
+	}, opts...)
+	return New(base, all...)
+}
+
+// Transient 500s are retried until the server comes back.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"id":"s1","done":false,"round":1}`))
+	}))
+	defer ts.Close()
+
+	c := testClient(t, ts.URL)
+	resp, err := c.do(context.Background(), http.MethodGet, "/sessions/s1", "s1", nil, nil)
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if resp.status != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.status)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (2 failures + success)", got)
+	}
+	if c.mRetries.Value() != 2 {
+		t.Errorf("client.retries = %d, want 2", c.mRetries.Value())
+	}
+}
+
+// Non-retryable 4xx statuses return immediately without burning attempts.
+func TestClientDoesNotRetryPermanentErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"unknown session"}`))
+	}))
+	defer ts.Close()
+
+	c := testClient(t, ts.URL)
+	resp, err := c.do(context.Background(), http.MethodGet, "/sessions/nope", "", nil, nil)
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if resp.status != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.status)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (no retries on 404)", got)
+	}
+}
+
+// A Retry-After header floors the backoff: the retry must not arrive before
+// the hinted delay elapses.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var firstAt, secondAt time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			firstAt = time.Now()
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			secondAt = time.Now()
+			w.Write([]byte(`{"id":"s1","done":false,"round":1}`))
+		}
+	}))
+	defer ts.Close()
+
+	c := testClient(t, ts.URL)
+	if _, err := c.do(context.Background(), http.MethodGet, "/x", "", nil, nil); err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if gap := secondAt.Sub(firstAt); gap < 900*time.Millisecond {
+		t.Errorf("retry arrived %v after the 429, want >= ~1s (Retry-After floor ignored)", gap)
+	}
+}
+
+// The caller's context deadline cuts the retry loop short.
+func TestClientContextDeadlineStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := testClient(t, ts.URL, WithAttempts(50))
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.do(ctx, http.MethodGet, "/x", "", nil, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("retry loop ran %v past a 100ms deadline", elapsed)
+	}
+}
+
+// The per-try timeout bounds a black-holed attempt so the retry loop moves
+// on instead of hanging until the whole deadline.
+func TestClientPerTryTimeout(t *testing.T) {
+	var calls atomic.Int64
+	block := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-block // black hole the first attempt
+			return
+		}
+		w.Write([]byte(`{"id":"s1","done":false,"round":1}`))
+	}))
+	defer ts.Close()
+	defer close(block) // LIFO: unblock the handler before ts.Close waits on it
+
+	c := testClient(t, ts.URL, WithPerTryTimeout(50*time.Millisecond))
+	resp, err := c.do(context.Background(), http.MethodGet, "/x", "", nil, nil)
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if resp.status != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.status)
+	}
+	if calls.Load() < 2 {
+		t.Errorf("black-holed attempt was not retried")
+	}
+}
+
+// Breaker state machine: trips consecutive failures open it, the cooldown
+// admits a half-open probe, and the probe's outcome decides.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(2, time.Second)
+	b.now = func() time.Time { return now }
+	b.bind(obs.NewRegistry())
+
+	if !b.allow("h", "s1") {
+		t.Fatal("closed breaker rejected")
+	}
+	b.failure("h", "s1")
+	if !b.allow("h", "s1") {
+		t.Fatal("one failure below threshold opened the breaker")
+	}
+	b.failure("h", "s1")
+	if b.allow("h", "s1") {
+		t.Fatal("breaker stayed closed after reaching the trip threshold")
+	}
+	if b.mOpened.Value() != 1 {
+		t.Errorf("client.breaker.opened = %d, want 1", b.mOpened.Value())
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	now = now.Add(2 * time.Second)
+	if !b.allow("h", "s1") {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	if b.allow("h", "s1") {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+
+	// Failed probe re-opens for another cooldown.
+	b.failure("h", "s1")
+	if b.allow("h", "s1") {
+		t.Fatal("breaker closed after a failed probe")
+	}
+	now = now.Add(2 * time.Second)
+	if !b.allow("h", "s1") {
+		t.Fatal("second probe rejected after re-open cooldown")
+	}
+	b.success("h")
+	if !b.allow("h", "s1") || !b.allow("h", "s1") {
+		t.Fatal("breaker not fully closed after successful probe")
+	}
+	if b.mClosed.Value() != 1 {
+		t.Errorf("client.breaker.closed = %d, want 1", b.mClosed.Value())
+	}
+}
+
+// A dead host trips the breaker, and requests are rejected locally (cheap)
+// while it is open.
+func TestClientBreakerOpensOnDeadHost(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // dead: connections refused
+
+	c := testClient(t, ts.URL,
+		WithAttempts(6),
+		WithBreaker(2, time.Hour), // opens fast, never recovers in-test
+		WithPerTryTimeout(100*time.Millisecond))
+	_, err := c.do(context.Background(), http.MethodGet, "/x", "", nil, nil)
+	if !errors.Is(err, ErrAttemptsExhausted) {
+		t.Fatalf("err = %v, want attempts exhausted", err)
+	}
+	if c.br.mOpened.Value() != 1 {
+		t.Errorf("breaker never opened against a dead host")
+	}
+	if c.br.mRejected.Value() == 0 {
+		t.Errorf("open breaker never rejected locally")
+	}
+}
+
+// A 409 with a round body surfaces as *ConflictError carrying the expected
+// round.
+func TestClientConflictErrorMapping(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+		w.Write([]byte(`{"error":"round 9 out of sync","round":4}`))
+	}))
+	defer ts.Close()
+
+	c := testClient(t, ts.URL)
+	s := &Session{c: c, id: "s1"}
+	s.state.Round = 9
+	err := s.Answer(context.Background(), true)
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ConflictError", err)
+	}
+	if ce.Expected != 4 {
+		t.Errorf("ConflictError.Expected = %d, want 4", ce.Expected)
+	}
+}

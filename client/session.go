@@ -1,0 +1,235 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Question is one pairwise comparison the server wants answered. Round is
+// the 1-based index the answer must carry — the exactly-once handle.
+type Question struct {
+	First  []float64
+	Second []float64
+	Attrs  []string
+	Round  int
+}
+
+// Result is the outcome of a finished search.
+type Result struct {
+	PointIndex     int
+	Point          []float64
+	Rounds         int
+	Degraded       bool
+	DegradedReason string
+}
+
+// Wire shapes, mirroring internal/server's JSON. Duplicated by design: the
+// SDK is the public contract and must not reach into internal packages for
+// its types.
+type wireQuestion struct {
+	First  []float64 `json:"first"`
+	Second []float64 `json:"second"`
+	Attrs  []string  `json:"attrs"`
+}
+
+type wireResult struct {
+	PointIndex     int       `json:"point_index"`
+	Point          []float64 `json:"point"`
+	Rounds         int       `json:"rounds"`
+	Degraded       bool      `json:"degraded"`
+	DegradedReason string    `json:"degraded_reason"`
+}
+
+type wireState struct {
+	ID       string        `json:"id"`
+	Done     bool          `json:"done"`
+	Round    int           `json:"round"`
+	Question *wireQuestion `json:"question"`
+	Result   *wireResult   `json:"result"`
+	Error    string        `json:"error"`
+}
+
+type wireAnswer struct {
+	PreferFirst bool `json:"prefer_first"`
+	Round       int  `json:"round"`
+}
+
+type wireConflict struct {
+	Error string `json:"error"`
+	Round int    `json:"round"`
+}
+
+type wireError struct {
+	Error string `json:"error"`
+}
+
+// Session is a live interactive search on the server. It is not safe for
+// concurrent use — like core.Session, one goroutine drives the protocol.
+type Session struct {
+	c     *Client
+	id    string
+	state wireState
+}
+
+// Create starts a session. The request carries a crypto-random
+// Idempotency-Key, so however many times the retry loop re-sends it, the
+// server materializes exactly one session.
+func (c *Client) Create(ctx context.Context) (*Session, error) {
+	hdr := http.Header{"Idempotency-Key": []string{newIdemKey()}}
+	resp, err := c.do(ctx, http.MethodPost, "/sessions", "", hdr, []byte("{}"))
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{c: c}
+	if err := s.absorb(resp, http.StatusCreated, http.StatusOK); err != nil {
+		return nil, err
+	}
+	s.id = s.state.ID
+	return s, nil
+}
+
+// ID returns the server-assigned session id ("" before Create succeeds).
+func (s *Session) ID() string { return s.id }
+
+// Done reports whether the search has finished (Result is available).
+func (s *Session) Done() bool { return s.state.Done }
+
+// Question returns the pending question, or nil once the session is done.
+func (s *Session) Question() *Question {
+	if s.state.Done || s.state.Question == nil {
+		return nil
+	}
+	return &Question{
+		First:  s.state.Question.First,
+		Second: s.state.Question.Second,
+		Attrs:  s.state.Question.Attrs,
+		Round:  s.state.Round,
+	}
+}
+
+// Answer submits the preference for the pending question, tagged with its
+// round index. Lost responses are survivable: the retried POST is a
+// duplicate round, which the server answers with the stored next state. A
+// 409 comes back as *ConflictError carrying the round the server expects.
+func (s *Session) Answer(ctx context.Context, preferFirst bool) error {
+	body, err := json.Marshal(wireAnswer{PreferFirst: preferFirst, Round: s.state.Round})
+	if err != nil {
+		return err
+	}
+	resp, err := s.c.do(ctx, http.MethodPost, "/sessions/"+s.id+"/answer", s.id, nil, body)
+	if err != nil {
+		return err
+	}
+	return s.absorb(resp, http.StatusOK)
+}
+
+// Get refreshes the session snapshot — the resynchronization primitive after
+// a ConflictError.
+func (s *Session) Get(ctx context.Context) error {
+	resp, err := s.c.do(ctx, http.MethodGet, "/sessions/"+s.id, s.id, nil, nil)
+	if err != nil {
+		return err
+	}
+	return s.absorb(resp, http.StatusOK)
+}
+
+// Abort deletes the session server-side. Safe on finished sessions (the
+// server answers 404, reported as *APIError).
+func (s *Session) Abort(ctx context.Context) error {
+	resp, err := s.c.do(ctx, http.MethodDelete, "/sessions/"+s.id, s.id, nil, nil)
+	if err != nil {
+		return err
+	}
+	if resp.status != http.StatusNoContent {
+		return apiErr(resp)
+	}
+	return nil
+}
+
+// Result returns the finished search's outcome. It errors when the session
+// is still running or ended in a server-side error.
+func (s *Session) Result() (*Result, error) {
+	if !s.state.Done {
+		return nil, fmt.Errorf("client: session %s not finished", s.id)
+	}
+	if s.state.Error != "" {
+		return nil, fmt.Errorf("client: session %s failed server-side: %s", s.id, s.state.Error)
+	}
+	if s.state.Result == nil {
+		return nil, fmt.Errorf("client: session %s finished without a result", s.id)
+	}
+	r := Result(*s.state.Result)
+	return &r, nil
+}
+
+// Run is the whole protocol in one call: create a session, feed every
+// question to choose (true: prefer First), and return the final result. On a
+// round conflict — possible only if some other client drove the same
+// session — it resynchronizes once with Get and continues.
+func (c *Client) Run(ctx context.Context, choose func(q Question) bool) (*Result, error) {
+	s, err := c.Create(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for !s.Done() {
+		q := s.Question()
+		if q == nil {
+			// No question and not done: a state gap (e.g. replayed create
+			// against a mid-flight session). Refresh and re-check.
+			if err := s.Get(ctx); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := s.Answer(ctx, choose(*q)); err != nil {
+			var ce *ConflictError
+			if errors.As(err, &ce) {
+				if gerr := s.Get(ctx); gerr != nil {
+					return nil, gerr
+				}
+				continue
+			}
+			return nil, err
+		}
+	}
+	return s.Result()
+}
+
+// absorb decodes one response into the session snapshot, mapping 409s to
+// *ConflictError and other unexpected statuses to *APIError.
+func (s *Session) absorb(resp *response, want ...int) error {
+	for _, w := range want {
+		if resp.status == w {
+			var st wireState
+			if err := json.Unmarshal(resp.body, &st); err != nil {
+				return fmt.Errorf("client: decode state: %w", err)
+			}
+			s.state = st
+			return nil
+		}
+	}
+	if resp.status == http.StatusConflict {
+		var wc wireConflict
+		if err := json.Unmarshal(resp.body, &wc); err == nil && wc.Round > 0 {
+			return &ConflictError{Expected: wc.Round, Message: wc.Error}
+		}
+	}
+	return apiErr(resp)
+}
+
+// apiErr turns an unexpected response into *APIError, salvaging the server's
+// error string when the body is the usual {"error": ...} shape.
+func apiErr(resp *response) error {
+	var we wireError
+	msg := ""
+	if err := json.Unmarshal(resp.body, &we); err == nil {
+		msg = we.Error
+	}
+	if msg == "" {
+		msg = string(resp.body)
+	}
+	return &APIError{Status: resp.status, Message: msg}
+}

@@ -67,6 +67,7 @@ func main() {
 		stateDir    = flag.String("state-dir", "", "write-ahead journal directory; restarts recover in-flight sessions (empty disables)")
 		maxSessions = flag.Int("max-sessions", 0, "admission cap on live sessions; at capacity POST /sessions returns 429 (0 disables)")
 		answerQueue = flag.Int("answer-queue", server.DefaultAnswerQueue, "bounded answer-work queue size; excess requests shed with 503 (0 disables)")
+		shutGrace   = flag.Duration("shutdown-grace", 10*time.Second, "on SIGTERM, let in-flight sessions finish for up to this long before journaling expiry tombstones")
 		faultSpec   = flag.String("fault", "", "fault-injection plan, e.g. 'lp.solve:err=0.01;geom.vertices:panic=0.001' (testing only)")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault-injection plan")
 		logLevel    = flag.String("log-level", "info", "debug, info, warn, error")
@@ -175,7 +176,15 @@ func main() {
 		fatalf("%v", err)
 	case <-ctx.Done():
 		logger.Info("shutdown signal received, draining")
-		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Drain first: new creates shed with 503 + Retry-After while in-flight
+		// rounds keep answering for up to the grace. Sessions still alive when
+		// it expires get journaled expiry tombstones, so a later restart
+		// recovers them instead of silently losing their answer prefix.
+		expired := srv.Drain(*shutGrace)
+		if expired > 0 {
+			logger.Warn("drain grace expired", "sessions_tombstoned", expired)
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), *shutGrace+10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(sctx); err != nil {
 			logger.Error("shutdown incomplete", "err", err)

@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -22,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"isrl/client"
 	"isrl/internal/aa"
 	"isrl/internal/baselines"
 	"isrl/internal/core"
@@ -42,8 +44,14 @@ func main() {
 		model    = flag.String("model", "", "pre-trained model file from isrl-train")
 		seed     = flag.Int64("seed", 1, "random seed")
 		simulate = flag.String("simulate", "", "comma-separated utility vector for a simulated user")
+		remote   = flag.String("server", "", "drive a session on a running isrl-serve instead of in-process (e.g. http://localhost:8080)")
 	)
 	flag.Parse()
+
+	if *remote != "" {
+		runRemote(*remote, *simulate)
+		return
+	}
 
 	ds, err := loadData(*csvPath, *data, *n, *d, *seed)
 	if err != nil {
@@ -80,6 +88,76 @@ func main() {
 	if hidden != nil {
 		fmt.Printf("Actual regret ratio: %.4f (threshold %.2f)\n", ds.RegretRatio(res.Point, hidden), *eps)
 	}
+}
+
+// runRemote drives a session on a running isrl-serve through the resilient
+// client SDK: the dataset, algorithm and training flags are the server's
+// business; this side only answers questions. Retries, backoff and the
+// exactly-once round protocol all live inside the client package.
+func runRemote(base, simulate string) {
+	c := client.New(base)
+	in := bufio.NewReader(os.Stdin)
+	var hidden []float64
+	round := 0
+	if simulate == "" {
+		fmt.Println("Answer each question with 1 or 2 (your preferred option).")
+	}
+	res, err := c.Run(context.Background(), func(q client.Question) bool {
+		if simulate != "" {
+			if hidden == nil {
+				var perr error
+				hidden, perr = parseUtility(simulate, len(q.First))
+				if perr != nil {
+					fatalf("%v", perr)
+				}
+				fmt.Printf("Simulated user with utility vector %v.\n", hidden)
+			}
+			return core.SimulatedUser{Utility: hidden}.Prefer(q.First, q.Second)
+		}
+		round++
+		fmt.Printf("\nQuestion %d — which do you prefer?\n", round)
+		fmt.Printf("  [1] %s\n", formatRemote(q.Attrs, q.First))
+		fmt.Printf("  [2] %s\n", formatRemote(q.Attrs, q.Second))
+		for {
+			fmt.Print("> ")
+			line, err := in.ReadString('\n')
+			if err != nil {
+				fmt.Println("(input closed; choosing 1)")
+				return true
+			}
+			switch strings.TrimSpace(line) {
+			case "1":
+				return true
+			case "2":
+				return false
+			}
+			fmt.Println("Please answer 1 or 2.")
+		}
+	})
+	if err != nil {
+		fatalf("remote session: %v", err)
+	}
+	fmt.Printf("\nDone after %d questions. Recommended tuple:\n", res.Rounds)
+	fmt.Printf("  #%d: %s\n", res.PointIndex, formatRemote(nil, res.Point))
+	if res.Degraded {
+		fmt.Printf("(degraded result: %s)\n", res.DegradedReason)
+	}
+}
+
+// formatRemote renders one tuple with the attribute names the server sent.
+func formatRemote(attrs []string, p []float64) string {
+	var b strings.Builder
+	for i, v := range p {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		name := fmt.Sprintf("a%d", i+1)
+		if i < len(attrs) {
+			name = attrs[i]
+		}
+		fmt.Fprintf(&b, "%s=%.3f", name, v)
+	}
+	return b.String()
 }
 
 func loadData(csvPath, kind string, n, d int, seed int64) (*dataset.Dataset, error) {

@@ -1,10 +1,13 @@
 package isrl_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 
 	"isrl"
+	"isrl/client"
 )
 
 // Example_quickstart shows the minimal end-to-end flow: generate data,
@@ -48,5 +51,30 @@ func Example_customUser() {
 		panic(err)
 	}
 	fmt.Println(len(audited.Record) >= res.Rounds)
+	// Output: true
+}
+
+// Example_resilientClient runs a full session through the client SDK: the
+// server side is the same handler isrl-serve mounts, and the client brings
+// retries, backoff and the exactly-once round protocol. Against a healthy
+// in-process server no retry fires, but the same code survives dropped and
+// truncated connections unchanged (see TestChaosClientProxyExactlyOnce).
+func Example_resilientClient() {
+	rng := rand.New(rand.NewSource(3))
+	ds := isrl.Anticorrelated(rng, 1000, 3).Skyline()
+	srv := httptest.NewServer(isrl.NewHTTPServer(ds, 0.1, func() isrl.Algorithm {
+		return isrl.NewUHSimplex(isrl.UHConfig{}, rand.New(rand.NewSource(4)))
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL)
+	truth := isrl.SimulatedUser{Utility: []float64{0.5, 0.3, 0.2}}
+	res, err := c.Run(context.Background(), func(q client.Question) bool {
+		return truth.Prefer(q.First, q.Second)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Rounds > 0 && len(res.Point) == 3)
 	// Output: true
 }

@@ -1,0 +1,66 @@
+// Resilient client: drive an interactive search session on a running
+// isrl-serve through the client SDK — retries, backoff, Retry-After,
+// circuit breaking and the exactly-once round protocol all included.
+//
+// Start a server, then run this against it:
+//
+//	isrl-serve -data car -algo ea -addr :8080 &
+//	go run ./examples/client -server http://localhost:8080
+//
+// The example answers questions from a simulated user so it runs
+// unattended; swap the choose function for a real UI to ask a human.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"isrl"
+	"isrl/client"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "base URL of a running isrl-serve")
+	flag.Parse()
+
+	// The SDK's defaults already retry transient failures; the knobs below
+	// just make the behaviour explicit. Every retried POST is safe: creates
+	// carry an Idempotency-Key, answers carry their round index, and the
+	// server deduplicates both.
+	c := client.New(*server,
+		client.WithAttempts(8),                                 // wire attempts per logical call
+		client.WithPerTryTimeout(5*time.Second),                // bound each attempt, not just the call
+		client.WithBackoff(50*time.Millisecond, 2*time.Second), // capped exponential + jitter
+		client.WithBreaker(8, time.Second),                     // fail fast while the host is down
+	)
+
+	// A simulated user stands in for the human: it answers from a hidden
+	// utility vector, sized lazily from the first question so the example
+	// works against any dataset the server happens to serve.
+	var truth isrl.SimulatedUser
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rounds := 0
+	res, err := c.Run(ctx, func(q client.Question) bool {
+		if truth.Utility == nil {
+			truth.Utility = make([]float64, len(q.First))
+			for i := range truth.Utility {
+				truth.Utility[i] = float64(len(q.First) - i) // descending weights; only relative order matters
+			}
+		}
+		rounds++
+		fmt.Printf("q%d: round %d, %d attributes\n", rounds, q.Round, len(q.First))
+		return truth.Prefer(q.First, q.Second)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recommended tuple #%d after %d rounds: %v\n", res.PointIndex, res.Rounds, res.Point)
+	if res.Degraded {
+		fmt.Printf("degraded result: %s\n", res.DegradedReason)
+	}
+}

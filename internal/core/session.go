@@ -31,6 +31,7 @@ type Session struct {
 	err       error
 	lastQ     [2][]float64 // question delivered by Next, awaiting Answer
 	pending   bool         // a question was delivered and awaits Answer
+	applied   int          // answers accepted so far (replay prefix included)
 	done      bool
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -88,6 +89,10 @@ func NewReplaySessionCtx(ctx context.Context, alg Algorithm, ds *dataset.Dataset
 		finished:  make(chan struct{}),
 		closed:    make(chan struct{}),
 		replay:    append([]bool(nil), replay...),
+		// The replayed prefix counts as applied rounds: a recovered session
+		// resumes at round len(replay)+1, so round-indexed retries from
+		// before the crash keep their exactly-once semantics.
+		applied: len(replay),
 	}
 	go func() {
 		defer close(s.finished)
@@ -215,6 +220,7 @@ func (s *Session) Answer(preferFirst bool) error {
 		return fmt.Errorf("core: Answer without a pending question")
 	}
 	s.pending = false
+	s.applied++
 	select {
 	case s.answers <- preferFirst:
 		return nil
@@ -225,6 +231,13 @@ func (s *Session) Answer(preferFirst bool) error {
 		return nil
 	}
 }
+
+// Applied returns how many answers the session has accepted, counting any
+// replayed recovery prefix. The next answer targets round Applied()+1 —
+// the index the server's exactly-once protocol checks duplicate and stale
+// retries against. Like the rest of the protocol API it must be called from
+// the goroutine driving the session.
+func (s *Session) Applied() int { return s.applied }
 
 // Result blocks until the search completes and returns its outcome. It
 // errors if questions remain unanswered (the session would deadlock) or the

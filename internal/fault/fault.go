@@ -31,13 +31,14 @@ import (
 // Well-known injection point names. Production hooks use these constants;
 // plans may also name points of their own for application-level hooks.
 const (
-	PointLPSolve   = "lp.solve"      // internal/lp: one simplex solve
-	PointVertices  = "geom.vertices" // internal/geom: one vertex enumeration
-	PointSample    = "geom.sample"   // internal/geom: one hit-and-run sampling run
-	PointOracle    = "core.oracle"   // internal/core: one session oracle question
-	PointWALWrite  = "wal.write"     // internal/wal: one journal record write
-	PointWALSync   = "wal.sync"      // internal/wal: one journal fsync
-	PointWALRename = "wal.rename"    // internal/wal: one segment rename (rotation/compaction)
+	PointLPSolve   = "lp.solve"       // internal/lp: one simplex solve
+	PointVertices  = "geom.vertices"  // internal/geom: one vertex enumeration
+	PointSample    = "geom.sample"    // internal/geom: one hit-and-run sampling run
+	PointOracle    = "core.oracle"    // internal/core: one session oracle question
+	PointWALWrite  = "wal.write"      // internal/wal: one journal record write
+	PointWALSync   = "wal.sync"       // internal/wal: one journal fsync
+	PointWALRename = "wal.rename"     // internal/wal: one segment rename (rotation/compaction)
+	PointClientReq = "client.request" // client: one HTTP attempt leaving the SDK
 )
 
 // ErrInjected is the sentinel wrapped by every injected error; callers test

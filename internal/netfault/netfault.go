@@ -1,0 +1,320 @@
+// Package netfault is a seeded, deterministic TCP chaos proxy for exercising
+// the client SDK and the server's exactly-once protocol under real network
+// failure modes — not injected function errors (internal/fault's job) but
+// actual connections dying on the wire: refused at accept, reset mid-stream,
+// responses truncated after a handful of bytes, or black-holed entirely.
+//
+// Determinism mirrors internal/fault: every accepted connection draws a
+// fixed number of rolls from one seeded source, in accept order, so a
+// single-connection-at-a-time client (http.Transport with keep-alives off)
+// replays the exact same fate sequence under a fixed seed. That is what lets
+// the chaos suite assert byte-identical final results rather than "it
+// probably worked": the fault schedule is a function of the seed, and the
+// protocol must absorb it.
+//
+// Plans parse from compact strings in the style of fault.ParsePlan:
+//
+//	drop=0.1,kill=0.2,delay=5ms,after=3
+//
+// Keys: drop (refuse at accept), reset (RST immediately after the request is
+// forwarded), kill (truncate the response after 1–256 bytes, then close —
+// the nastiest case: the server applied the request but the client cannot
+// know), blackhole (accept, read, answer nothing), delay (added latency per
+// connection), after (connections passed through unarmed).
+package netfault
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"isrl/internal/obs"
+)
+
+// Plan is the per-connection fate distribution. Probabilities are summed in
+// drop, reset, kill, blackhole order against a single roll, so they must sum
+// to at most 1.
+type Plan struct {
+	Drop      float64       // close the client connection at accept
+	Reset     float64       // RST (linger 0) as soon as the upstream dial succeeds
+	Kill      float64       // truncate the response after 1–256 bytes, then close
+	Blackhole float64       // swallow the request, send nothing back
+	Delay     time.Duration // latency added before the upstream dial
+	After     int           // connections passed through unarmed
+}
+
+// ParsePlan builds a Plan from a compact key=value spec (see package doc).
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("netfault: bad spec entry %q (want key=value)", kv)
+		}
+		switch k {
+		case "drop", "reset", "kill", "blackhole":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				return Plan{}, fmt.Errorf("netfault: bad probability %q for %s", v, k)
+			}
+			switch k {
+			case "drop":
+				p.Drop = f
+			case "reset":
+				p.Reset = f
+			case "kill":
+				p.Kill = f
+			case "blackhole":
+				p.Blackhole = f
+			}
+		case "delay":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return Plan{}, fmt.Errorf("netfault: bad delay %q", v)
+			}
+			p.Delay = d
+		case "after":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return Plan{}, fmt.Errorf("netfault: bad after %q", v)
+			}
+			p.After = n
+		default:
+			return Plan{}, fmt.Errorf("netfault: unknown key %q", k)
+		}
+	}
+	if s := p.Drop + p.Reset + p.Kill + p.Blackhole; s > 1 {
+		return Plan{}, fmt.Errorf("netfault: fate probabilities sum to %.3f > 1", s)
+	}
+	return p, nil
+}
+
+// Proxy metrics, shared by all proxies in the process.
+var (
+	mConns     = obs.Default().Counter("netfault.connections")
+	mDropped   = obs.Default().Counter("netfault.dropped")
+	mReset     = obs.Default().Counter("netfault.resets")
+	mTruncated = obs.Default().Counter("netfault.truncated")
+	mBlackhole = obs.Default().Counter("netfault.blackholed")
+	mDelayed   = obs.Default().Counter("netfault.delayed")
+)
+
+// Connection fates, decided at accept time.
+const (
+	fatePass = iota
+	fateDrop
+	fateReset
+	fateKill
+	fateBlackhole
+)
+
+// fate is one connection's drawn destiny.
+type fate struct {
+	kind  int
+	trunc int64 // kill: response bytes to let through before closing
+}
+
+// Proxy is a live chaos proxy: one listener forwarding to one target, each
+// connection's fate drawn from the seeded source in accept order.
+type Proxy struct {
+	target string
+	plan   Plan
+	ln     net.Listener
+
+	rmu   sync.Mutex
+	rng   *rand.Rand
+	seen  int // connections accepted so far (for Plan.After)
+	fates []int
+
+	cmu    sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a proxy on 127.0.0.1 (random port) forwarding to target
+// ("host:port"). Close it to release the listener and every open connection.
+func New(target string, plan Plan, seed int64) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netfault: listen: %w", err)
+	}
+	p := &Proxy{
+		target: target,
+		plan:   plan,
+		ln:     ln,
+		rng:    rand.New(rand.NewSource(seed)),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address ("127.0.0.1:port").
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Fates returns the fate kinds drawn so far, in accept order — the audit
+// trail chaos tests use to confirm the plan actually did something.
+func (p *Proxy) Fates() []int {
+	p.rmu.Lock()
+	defer p.rmu.Unlock()
+	return append([]int(nil), p.fates...)
+}
+
+// Close stops accepting, severs every open connection and waits for the
+// forwarding goroutines to drain.
+func (p *Proxy) Close() error {
+	err := p.ln.Close()
+	p.cmu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.cmu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		cc, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !p.track(cc) {
+			cc.Close()
+			return
+		}
+		mConns.Inc()
+		f := p.draw()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer p.untrack(cc)
+			p.handle(cc, f)
+		}()
+	}
+}
+
+// draw decides one connection's fate. Exactly two rolls are consumed per
+// armed connection regardless of the outcome, so arming one fate never
+// shifts the random sequence seen by the others — the same invariant
+// fault.Plan keeps for its error/torn draws.
+func (p *Proxy) draw() fate {
+	p.rmu.Lock()
+	defer p.rmu.Unlock()
+	p.seen++
+	if p.seen <= p.plan.After {
+		p.fates = append(p.fates, fatePass)
+		return fate{kind: fatePass}
+	}
+	r := p.rng.Float64()
+	trunc := int64(p.rng.Intn(256)) + 1
+	f := fate{kind: fatePass, trunc: trunc}
+	switch {
+	case r < p.plan.Drop:
+		f.kind = fateDrop
+	case r < p.plan.Drop+p.plan.Reset:
+		f.kind = fateReset
+	case r < p.plan.Drop+p.plan.Reset+p.plan.Kill:
+		f.kind = fateKill
+	case r < p.plan.Drop+p.plan.Reset+p.plan.Kill+p.plan.Blackhole:
+		f.kind = fateBlackhole
+	}
+	p.fates = append(p.fates, f.kind)
+	return f
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.cmu.Lock()
+	defer p.cmu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.cmu.Lock()
+	delete(p.conns, c)
+	p.cmu.Unlock()
+	c.Close()
+}
+
+func (p *Proxy) handle(cc net.Conn, f fate) {
+	if f.kind == fateDrop {
+		mDropped.Inc()
+		return // deferred untrack closes the client conn: connection refused-ish
+	}
+	if f.kind == fateBlackhole {
+		mBlackhole.Inc()
+		// Swallow whatever the client sends and answer nothing; the client's
+		// per-try timeout is what ends this. Copy returns when the client
+		// gives up or Close severs the conn.
+		io.Copy(io.Discard, cc)
+		return
+	}
+	if p.plan.Delay > 0 {
+		mDelayed.Inc()
+		time.Sleep(p.plan.Delay)
+	}
+	sc, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	if !p.track(sc) {
+		sc.Close()
+		return
+	}
+	defer p.untrack(sc)
+
+	if f.kind == fateReset {
+		mReset.Inc()
+		// Forward the request so the server may well apply it, then slam the
+		// door with an RST before any response byte escapes — the classic
+		// "did my write commit?" ambiguity the round protocol resolves.
+		go io.Copy(sc, cc)
+		time.Sleep(2 * time.Millisecond)
+		if tc, ok := cc.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+		return // deferred closes fire
+	}
+
+	// Pass and kill both forward the request upstream concurrently.
+	done := make(chan struct{})
+	go func() {
+		io.Copy(sc, cc)
+		if tc, ok := sc.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		close(done)
+	}()
+	if f.kind == fateKill {
+		mTruncated.Inc()
+		// Let a sliver of the response through, then cut: the client sees a
+		// torn body after the server already committed the answer.
+		io.CopyN(cc, sc, f.trunc)
+		sc.Close()
+		cc.Close()
+	} else {
+		io.Copy(cc, sc)
+		if tc, ok := cc.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}
+	<-done
+}

@@ -1,0 +1,191 @@
+package netfault
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("drop=0.1,kill=0.2,delay=5ms,after=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Drop != 0.1 || p.Kill != 0.2 || p.Delay != 5*time.Millisecond || p.After != 3 {
+		t.Errorf("parsed plan %+v wrong", p)
+	}
+	for _, bad := range []string{
+		"drop",              // no value
+		"drop=1.5",          // probability out of range
+		"nope=0.1",          // unknown key
+		"delay=-3ms",        // negative delay
+		"after=-1",          // negative after
+		"drop=0.6,kill=0.6", // fates sum past 1
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+// echoServer answers every connection by echoing one read back.
+func echoServer(t *testing.T) (addr string, closeFn func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						c.Write(buf[:n])
+					}
+					if err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+// An unarmed proxy is a transparent pipe.
+func TestProxyPassThrough(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("hello through the chaos proxy")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("echo through proxy = %q, want %q", got, msg)
+	}
+}
+
+// A kill-fated connection lets at most the truncation sliver through, then
+// dies — the client sees a torn response.
+func TestProxyKillTruncates(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Plan{Kill: 1}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	big := bytes.Repeat([]byte("x"), 4096)
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	c.Write(big)
+	got, _ := io.ReadAll(c) // ends in EOF or reset either way
+	if len(got) >= len(big) {
+		t.Errorf("kill fate let the whole %d-byte response through", len(got))
+	}
+	if len(got) > 256 {
+		t.Errorf("truncation point %d past the 256-byte cap", len(got))
+	}
+	fates := p.Fates()
+	if len(fates) != 1 || fates[0] != fateKill {
+		t.Errorf("fates = %v, want [kill]", fates)
+	}
+}
+
+// A drop-fated connection is severed at accept: reads fail immediately.
+func TestProxyDropSevers(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Plan{Drop: 1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	c.Write([]byte("anyone there?"))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Errorf("dropped connection delivered data")
+	}
+}
+
+// Same seed, same plan, sequential connections → identical fate sequence.
+// This is the invariant that makes chaos runs regressions, not flakes.
+func TestFateSequenceDeterministic(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	plan := Plan{Drop: 0.2, Kill: 0.3, After: 2}
+
+	run := func(seed int64) []int {
+		p, err := New(addr, plan, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		for i := 0; i < 20; i++ {
+			c, err := net.Dial("tcp", p.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.SetDeadline(time.Now().Add(2 * time.Second))
+			c.Write([]byte("ping"))
+			io.ReadFull(c, make([]byte, 4)) // best effort; fate may kill it
+			c.Close()
+		}
+		// Fates are drawn at accept; wait for all 20 accepts to land.
+		deadline := time.Now().Add(5 * time.Second)
+		for len(p.Fates()) < 20 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		return p.Fates()
+	}
+
+	a, b := run(99), run(99)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed drew different fate sequences:\n%v\n%v", a, b)
+	}
+	for i := 0; i < plan.After && i < len(a); i++ {
+		if a[i] != fatePass {
+			t.Errorf("connection %d armed before After=%d elapsed", i, plan.After)
+		}
+	}
+	c := run(100)
+	if reflect.DeepEqual(a, c) {
+		t.Errorf("different seeds drew identical fate sequences (suspicious): %v", a)
+	}
+}

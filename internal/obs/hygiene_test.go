@@ -92,6 +92,20 @@ func TestMetricNameHygiene(t *testing.T) {
 	if files < 10 || len(kinds) < 30 {
 		t.Fatalf("audit scanned %d files and found %d metric names; the source scan looks broken", files, len(kinds))
 	}
+	// The resilience layers must stay instrumented: the client SDK and the
+	// netfault proxy each register at least one metric the scan can see.
+	for _, prefix := range []string{"client.", "netfault."} {
+		found := false
+		for name := range kinds {
+			if strings.HasPrefix(name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %q-prefixed metric registrations found; the resilience instrumentation went missing", prefix)
+		}
+	}
 	for name, ks := range kinds {
 		if len(ks) > 1 {
 			sites := make([]string, 0, len(origin[name]))

@@ -1,0 +1,321 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"isrl/internal/core"
+	"isrl/internal/wal"
+)
+
+// A duplicate of the just-applied round must not re-feed the preference: the
+// server re-delivers the stored next question, byte-identical to the
+// response the lost first attempt carried.
+func TestAnswerDuplicateRoundReplays(t *testing.T) {
+	srv, _ := testServer(t)
+	rec, state := doJSON(t, srv, http.MethodPost, "/sessions", nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create status %d", rec.Code)
+	}
+	if state.Round != 1 {
+		t.Fatalf("fresh session advertises round %d, want 1", state.Round)
+	}
+	first, next := doJSON(t, srv, http.MethodPost, "/sessions/"+state.ID+"/answer",
+		answerPayload{PreferFirst: true, Round: 1})
+	if first.Code != http.StatusOK {
+		t.Fatalf("answer status %d: %s", first.Code, first.Body.String())
+	}
+	if next.Round != 2 {
+		t.Fatalf("after one answer the session advertises round %d, want 2", next.Round)
+	}
+	before := srv.dupRounds.Value()
+	dup, _ := doJSON(t, srv, http.MethodPost, "/sessions/"+state.ID+"/answer",
+		answerPayload{PreferFirst: true, Round: 1})
+	if dup.Code != http.StatusOK {
+		t.Fatalf("duplicate answer status %d: %s", dup.Code, dup.Body.String())
+	}
+	if !bytes.Equal(dup.Body.Bytes(), first.Body.Bytes()) {
+		t.Errorf("duplicate-round response differs from original:\n%s\nvs\n%s", dup.Body.String(), first.Body.String())
+	}
+	if srv.dupRounds.Value() != before+1 {
+		t.Errorf("sessions.duplicate_rounds did not count the replay")
+	}
+}
+
+// A stale or future round is refused with 409 and the expected round in the
+// body, so the client can resynchronize instead of corrupting the polytope.
+func TestAnswerWrongRoundConflicts(t *testing.T) {
+	srv, _ := testServer(t)
+	_, state := doJSON(t, srv, http.MethodPost, "/sessions", nil)
+	req := httptest.NewRequest(http.MethodPost, "/sessions/"+state.ID+"/answer",
+		strings.NewReader(`{"prefer_first":true,"round":7}`))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("future-round status %d, want 409: %s", rec.Code, rec.Body.String())
+	}
+	var cp conflictPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &cp); err != nil {
+		t.Fatalf("409 body not a conflict payload: %s", rec.Body.String())
+	}
+	if cp.Round != 1 {
+		t.Errorf("conflict advertises expected round %d, want 1", cp.Round)
+	}
+	if srv.roundConf.Value() == 0 {
+		t.Errorf("sessions.round_conflicts did not count")
+	}
+
+	// Negative rounds are malformed, not conflicting.
+	rec2, _ := doJSON(t, srv, http.MethodPost, "/sessions/"+state.ID+"/answer",
+		answerPayload{PreferFirst: true, Round: -1})
+	if rec2.Code != http.StatusBadRequest {
+		t.Errorf("negative round status %d, want 400", rec2.Code)
+	}
+}
+
+// The nastiest retry: the final answer's response is lost, the session is
+// already gone from the live table, and the client re-sends. The completed
+// cache replays the stored final state byte-for-byte — while plain GETs keep
+// 404ing, preserving the existing "finished sessions are gone" contract.
+func TestAnswerFinalRoundRetryAfterFinish(t *testing.T) {
+	srv, _ := testServer(t)
+	truth := core.SimulatedUser{Utility: []float64{0.2, 0.5, 0.3}}
+	rec, state := doJSON(t, srv, http.MethodPost, "/sessions", nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create status %d", rec.Code)
+	}
+	id := state.ID
+	var finalBody []byte
+	var finalRound int
+	for rounds := 0; !state.Done; rounds++ {
+		if rounds > 300 {
+			t.Fatal("session did not finish")
+		}
+		prefer := truth.Prefer(state.Question.First, state.Question.Second)
+		finalRound = state.Round
+		rec, state = doJSON(t, srv, http.MethodPost, "/sessions/"+id+"/answer",
+			answerPayload{PreferFirst: prefer, Round: finalRound})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("answer status %d: %s", rec.Code, rec.Body.String())
+		}
+		finalBody = append([]byte(nil), rec.Body.Bytes()...)
+	}
+
+	retry, _ := doJSON(t, srv, http.MethodPost, "/sessions/"+id+"/answer",
+		answerPayload{PreferFirst: true, Round: finalRound})
+	if retry.Code != http.StatusOK {
+		t.Fatalf("final-answer retry status %d, want 200: %s", retry.Code, retry.Body.String())
+	}
+	if !bytes.Equal(retry.Body.Bytes(), finalBody) {
+		t.Errorf("final-answer retry not byte-identical:\n%s\nvs\n%s", retry.Body.String(), string(finalBody))
+	}
+
+	// A wrong round against the finished session still conflicts.
+	conf, _ := doJSON(t, srv, http.MethodPost, "/sessions/"+id+"/answer",
+		answerPayload{PreferFirst: true, Round: finalRound + 5})
+	if conf.Code != http.StatusConflict {
+		t.Errorf("wrong-round against finished session: status %d, want 409", conf.Code)
+	}
+
+	// GET keeps the legacy contract: the session is gone.
+	get, _ := doJSON(t, srv, http.MethodGet, "/sessions/"+id, nil)
+	if get.Code != http.StatusNotFound {
+		t.Errorf("GET after finish: status %d, want 404", get.Code)
+	}
+}
+
+// A retried POST /sessions with the same Idempotency-Key lands on the
+// existing session instead of leaking a duplicate.
+func TestCreateIdempotencyKeyReplays(t *testing.T) {
+	srv, _ := testServer(t)
+	post := func(key string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/sessions", nil)
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec
+	}
+	first := post("k1")
+	if first.Code != http.StatusCreated {
+		t.Fatalf("create status %d", first.Code)
+	}
+	var st1 statePayload
+	if err := json.Unmarshal(first.Body.Bytes(), &st1); err != nil {
+		t.Fatal(err)
+	}
+	replay := post("k1")
+	if replay.Code != http.StatusOK {
+		t.Fatalf("replayed create status %d, want 200: %s", replay.Code, replay.Body.String())
+	}
+	if replay.Header().Get("Idempotency-Replayed") != "true" {
+		t.Errorf("replayed create missing Idempotency-Replayed header")
+	}
+	var st2 statePayload
+	if err := json.Unmarshal(replay.Body.Bytes(), &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st1.ID != st2.ID {
+		t.Errorf("replayed create returned session %q, want %q", st2.ID, st1.ID)
+	}
+	if srv.idemReplay.Value() != 1 {
+		t.Errorf("sessions.idem_replays = %d, want 1", srv.idemReplay.Value())
+	}
+	if other := post("k2"); other.Code != http.StatusCreated {
+		t.Errorf("distinct key status %d, want 201", other.Code)
+	}
+	if long := post(strings.Repeat("x", maxIdemKeyBytes+1)); long.Code != http.StatusBadRequest {
+		t.Errorf("oversized key status %d, want 400", long.Code)
+	}
+}
+
+// The idempotency mapping is journaled with the create, so a client retrying
+// its POST /sessions across a server crash still lands on the recovered
+// session instead of forking a second one.
+func TestIdempotencyKeySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	ds := journalDataset()
+	j1, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := New(ds, 0.1, seededFactory(), WithJournal(j1), WithSessionSeed(77))
+	req := httptest.NewRequest(http.MethodPost, "/sessions", nil)
+	req.Header.Set("Idempotency-Key", "retry-me")
+	rec := httptest.NewRecorder()
+	srv1.ServeHTTP(rec, req)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create status %d", rec.Code)
+	}
+	var st statePayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	j1.Close() // crash
+
+	j2, states, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	srv2 := New(ds, 0.1, seededFactory(), WithJournal(j2), WithSessionSeed(77))
+	if n := srv2.Recover(states); n != 1 {
+		t.Fatalf("recovered %d sessions, want 1", n)
+	}
+	req2 := httptest.NewRequest(http.MethodPost, "/sessions", nil)
+	req2.Header.Set("Idempotency-Key", "retry-me")
+	rec2 := httptest.NewRecorder()
+	srv2.ServeHTTP(rec2, req2)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("post-restart replay status %d, want 200: %s", rec2.Code, rec2.Body.String())
+	}
+	var st2 statePayload
+	if err := json.Unmarshal(rec2.Body.Bytes(), &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID != st.ID {
+		t.Errorf("post-restart replay returned %q, want recovered session %q", st2.ID, st.ID)
+	}
+}
+
+// Drain sheds new creates with 503 + Retry-After while an in-flight session
+// keeps answering to completion — the graceful-shutdown regression test.
+func TestDrainShedsCreatesAndLetsInflightFinish(t *testing.T) {
+	srv, _ := testServer(t)
+	truth := core.SimulatedUser{Utility: []float64{0.2, 0.5, 0.3}}
+	rec, state := doJSON(t, srv, http.MethodPost, "/sessions", nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create status %d", rec.Code)
+	}
+	id := state.ID
+
+	drained := make(chan int, 1)
+	go func() { drained <- srv.Drain(10 * time.Second) }()
+	// Wait for the draining flag to take effect.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rec, probe := doJSON(t, srv, http.MethodPost, "/sessions", nil)
+		if rec.Code == http.StatusCreated {
+			// Raced ahead of the draining flag; drop the probe session so it
+			// doesn't hold the drain open.
+			doJSON(t, srv, http.MethodDelete, "/sessions/"+probe.ID, nil)
+		}
+		if rec.Code == http.StatusServiceUnavailable {
+			if rec.Header().Get("Retry-After") == "" {
+				t.Errorf("draining 503 missing Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("create never shed during drain (last status %d)", rec.Code)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The in-flight session still answers all the way to its result.
+	for rounds := 0; !state.Done; rounds++ {
+		if rounds > 300 {
+			t.Fatal("session did not finish")
+		}
+		prefer := truth.Prefer(state.Question.First, state.Question.Second)
+		rec, state = doJSON(t, srv, http.MethodPost, "/sessions/"+id+"/answer",
+			answerPayload{PreferFirst: prefer, Round: state.Round})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("in-flight answer during drain: status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	if state.Result == nil {
+		t.Fatalf("in-flight session finished without result")
+	}
+	select {
+	case n := <-drained:
+		if n != 0 {
+			t.Errorf("drain force-expired %d sessions, want 0 (all finished in grace)", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return after sessions finished")
+	}
+}
+
+// When the grace expires, surviving sessions are closed with journaled
+// expiry tombstones — durable, so a restart does not resurrect them.
+func TestDrainGraceExpiryTombstones(t *testing.T) {
+	dir := t.TempDir()
+	ds := journalDataset()
+	j, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(ds, 0.1, seededFactory(), WithJournal(j), WithSessionSeed(9))
+	rec, state := doJSON(t, srv, http.MethodPost, "/sessions", nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create status %d", rec.Code)
+	}
+	if n := srv.Drain(30 * time.Millisecond); n != 1 {
+		t.Fatalf("Drain force-expired %d sessions, want 1", n)
+	}
+	if srv.drainKill.Value() != 1 {
+		t.Errorf("sessions.drain_expired = %d, want 1", srv.drainKill.Value())
+	}
+	j.Close()
+
+	recs, err := wal.Records(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawExpired := false
+	for _, r := range recs {
+		if r.Kind == wal.KindFinish && r.ID == state.ID && r.Reason == wal.ReasonExpired {
+			sawExpired = true
+		}
+	}
+	if !sawExpired {
+		t.Errorf("no expiry tombstone journaled for %s; records: %+v", state.ID, recs)
+	}
+}

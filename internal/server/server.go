@@ -5,10 +5,21 @@
 //
 // Endpoints:
 //
-//	POST /sessions                 → {"id", "question"|null, "done"}
+//	POST /sessions                 → {"id", "round", "question"|null, "done"}
 //	GET  /sessions/{id}            → current question or result
-//	POST /sessions/{id}/answer     body {"prefer_first": bool}
+//	POST /sessions/{id}/answer     body {"prefer_first": bool, "round": n}
 //	DELETE /sessions/{id}          → abort
+//
+// The protocol is exactly-once under retries: every answer may carry the
+// 1-based round index it targets (the "round" echoed by the previous
+// response). A duplicate of the already-applied round re-delivers the stored
+// next state with 200 instead of re-applying the preference; a stale or
+// future round gets 409 with the expected round in the body. POST /sessions
+// honors an Idempotency-Key header (bounded LRU, journaled through the WAL)
+// so a retried create returns the existing session instead of leaking a
+// duplicate. Answers without a round field keep the legacy apply-blindly
+// behaviour.
+//
 //	GET  /healthz                  → liveness probe
 //	GET  /metrics                  → obs registry snapshot (JSON; ?format=text
 //	                                 for expvar style, ?format=prom or a
@@ -75,6 +86,20 @@ const DefaultAnswerQueue = 256
 // a few dozen bytes, so anything past this is abuse, not data.
 const maxAnswerBytes = 4 << 10
 
+// maxIdemKeyBytes bounds the Idempotency-Key header; a UUID needs 36 bytes,
+// so anything past this is abuse, not a key.
+const maxIdemKeyBytes = 256
+
+// idemKeyCap bounds the Idempotency-Key → session id LRU. Within the window
+// a retried create is exactly-once; past it (thousands of creates later) the
+// retry would make a fresh session, which is the bounded-memory trade.
+const idemKeyCap = 4096
+
+// completedCap bounds the finished-session response cache that serves
+// round-indexed retries of a session's final answer after the session left
+// the live table.
+const completedCap = 1024
+
 // retryAfterSeconds is the base Retry-After hint on 503/429 responses; the
 // emitted value is jittered ±20% (see retryAfter) so synchronized clients
 // don't retry in lockstep.
@@ -132,6 +157,15 @@ type Server struct {
 	sessions  map[string]*session
 	nextID    int
 	lastSweep time.Time
+	idem      *lruMap // Idempotency-Key → session id; guarded by mu
+	draining  bool    // Drain in progress: no new sessions
+
+	// completed caches the final response of recently finished sessions so a
+	// round-indexed retry of the last answer can be replayed after the
+	// session left the live table. Own lock: it is written on the finish path
+	// while other handlers hold mu.
+	cmu       sync.Mutex
+	completed *lruMap
 
 	// Hot-path instruments, resolved once at construction.
 	inFlight   *obs.Gauge
@@ -149,6 +183,11 @@ type Server struct {
 	journalErr *obs.Counter
 	shedFull   *obs.Counter
 	shedQueue  *obs.Counter
+	shedDrain  *obs.Counter
+	idemReplay *obs.Counter
+	dupRounds  *obs.Counter
+	roundConf  *obs.Counter
+	drainKill  *obs.Counter
 }
 
 // Option configures a Server.
@@ -252,6 +291,8 @@ func New(ds *dataset.Dataset, eps float64, factory AlgorithmFactory, opts ...Opt
 		fingerprint: ds.Fingerprint(),
 		baseSeed:    1,
 		work:        make(chan struct{}, DefaultAnswerQueue),
+		idem:        newLRUMap(idemKeyCap),
+		completed:   newLRUMap(completedCap),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -273,6 +314,11 @@ func New(ds *dataset.Dataset, eps float64, factory AlgorithmFactory, opts ...Opt
 	s.journalErr = s.reg.Counter("sessions.journal_errors")
 	s.shedFull = s.reg.Counter("server.shed.max_sessions")
 	s.shedQueue = s.reg.Counter("server.shed.queue_full")
+	s.shedDrain = s.reg.Counter("server.shed.draining")
+	s.idemReplay = s.reg.Counter("sessions.idem_replays")
+	s.dupRounds = s.reg.Counter("sessions.duplicate_rounds")
+	s.roundConf = s.reg.Counter("sessions.round_conflicts")
+	s.drainKill = s.reg.Counter("sessions.drain_expired")
 	return s
 }
 
@@ -317,6 +363,11 @@ func (s *Server) Recover(states []wal.SessionState) int {
 		}
 		s.mu.Lock()
 		s.sessions[st.ID] = e
+		if st.IdemKey != "" {
+			// Restore the create's idempotency mapping so a client retrying
+			// its POST /sessions across the crash still lands on this session.
+			s.idem.put(st.IdemKey, st.ID)
+		}
 		s.active.Set(int64(len(s.sessions)))
 		s.mu.Unlock()
 		s.recovered.Inc()
@@ -335,12 +386,12 @@ func (s *Server) Recover(states []wal.SessionState) int {
 // degrade-don't-fail policy: a disk fault is logged and counted, and
 // surfaces on /healthz via the journal's sticky error, but never turns into
 // a client-visible failure.
-func (s *Server) journalCreate(ctx context.Context, id, algo string, seed int64) {
+func (s *Server) journalCreate(ctx context.Context, id, algo string, seed int64, idemKey string) {
 	if s.journal == nil {
 		return
 	}
 	err := s.journal.AppendCreateCtx(ctx, wal.SessionState{
-		ID: id, Algo: algo, Eps: s.eps, Seed: seed, Fingerprint: s.fingerprint,
+		ID: id, Algo: algo, Eps: s.eps, Seed: seed, Fingerprint: s.fingerprint, IdemKey: idemKey,
 	})
 	if err != nil {
 		s.journalErr.Inc()
@@ -375,10 +426,13 @@ type questionPayload struct {
 	Attrs  []string  `json:"attrs,omitempty"`
 }
 
-// statePayload is the JSON shape of a session snapshot.
+// statePayload is the JSON shape of a session snapshot. Round is the
+// 1-based index the next answer must carry; it is absent once the session
+// is done.
 type statePayload struct {
 	ID       string           `json:"id"`
 	Done     bool             `json:"done"`
+	Round    int              `json:"round,omitempty"`
 	Question *questionPayload `json:"question,omitempty"`
 	Result   *resultPayload   `json:"result,omitempty"`
 	Error    string           `json:"error,omitempty"`
@@ -395,9 +449,27 @@ type resultPayload struct {
 	DegradedReason string    `json:"degraded_reason,omitempty"`
 }
 
-// answerPayload is the request body of POST /sessions/{id}/answer.
+// answerPayload is the request body of POST /sessions/{id}/answer. Round,
+// when positive, is the 1-based index of the question being answered — the
+// exactly-once handle; zero (or absent) selects the legacy apply-blindly
+// behaviour.
 type answerPayload struct {
 	PreferFirst bool `json:"prefer_first"`
+	Round       int  `json:"round,omitempty"`
+}
+
+// conflictPayload is the 409 body for out-of-sync rounds: Round tells the
+// client which round the server expects next, so it can resynchronize with
+// one GET instead of guessing.
+type conflictPayload struct {
+	Error string `json:"error"`
+	Round int    `json:"round"`
+}
+
+// completedEntry is the cached final response of a finished session.
+type completedEntry struct {
+	round int    // round index of the session's last applied answer
+	body  []byte // exact bytes of the final response
 }
 
 // statusWriter captures the response status for metrics and logging.
@@ -584,8 +656,48 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) create(w http.ResponseWriter, r *http.Request) {
+	key := r.Header.Get("Idempotency-Key")
+	if len(key) > maxIdemKeyBytes {
+		s.httpError(w, http.StatusBadRequest, "Idempotency-Key exceeds %d bytes", maxIdemKeyBytes)
+		return
+	}
 	now := s.now()
 	s.mu.Lock()
+	if key != "" {
+		// The key lookup and the create below share one critical section, so
+		// two concurrent retries of the same create cannot both miss and
+		// leak a duplicate session.
+		if v, ok := s.idem.get(key); ok {
+			id := v.(string)
+			e := s.sessions[id]
+			if e != nil {
+				e.lastTouch = now
+			}
+			s.mu.Unlock()
+			s.idemReplay.Inc()
+			w.Header().Set("Idempotency-Replayed", "true")
+			if e != nil {
+				s.echoTraceparent(w, e)
+				s.respondState(w, id, e, http.StatusOK)
+				return
+			}
+			if ent, ok := s.lookupCompleted(id); ok {
+				s.writeStored(w, http.StatusOK, ent.body)
+				return
+			}
+			s.httpError(w, http.StatusConflict,
+				"Idempotency-Key %q refers to session %q, which is gone", key, id)
+			return
+		}
+	}
+	if s.draining {
+		s.mu.Unlock()
+		s.shedDrain.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter()))
+		s.httpError(w, http.StatusServiceUnavailable,
+			"server draining; not accepting new sessions")
+		return
+	}
 	if s.maxSessions > 0 && len(s.sessions) >= s.maxSessions {
 		n := len(s.sessions)
 		s.mu.Unlock()
@@ -606,11 +718,14 @@ func (s *Server) create(w http.ResponseWriter, r *http.Request) {
 	}
 	e := &session{sess: core.NewSessionCtx(ctx, alg, s.ds, s.eps), lastTouch: now, tr: tr, root: root}
 	s.sessions[id] = e
+	if key != "" {
+		s.idem.put(key, id)
+	}
 	s.active.Set(int64(len(s.sessions)))
 	s.mu.Unlock()
 	// Journal before the id is revealed to the client: no answer for this
 	// session can be journaled (or even sent) until the create is durable.
-	s.journalCreate(ctx, id, alg.Name(), seed)
+	s.journalCreate(ctx, id, alg.Name(), seed, key)
 	s.created.Inc()
 	s.echoTraceparent(w, e)
 	s.respondState(w, id, e, http.StatusCreated)
@@ -709,14 +824,6 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, id string) {
 		s.httpError(w, http.StatusUnsupportedMediaType, "content type %q not supported; send application/json", ct)
 		return
 	}
-	e, ok := s.lookup(id)
-	if !ok {
-		s.httpError(w, http.StatusNotFound, "unknown session %q", id)
-		return
-	}
-	sp := e.root.StartChild("http.answer")
-	defer sp.End()
-	s.echoTraceparent(w, e)
 	r.Body = http.MaxBytesReader(w, r.Body, maxAnswerBytes)
 	var body answerPayload
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
@@ -728,7 +835,55 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, id string) {
 		s.httpError(w, http.StatusBadRequest, "bad answer body: %v", err)
 		return
 	}
+	if body.Round < 0 {
+		s.httpError(w, http.StatusBadRequest, "negative round %d", body.Round)
+		return
+	}
+	e, ok := s.lookup(id)
+	if !ok {
+		// The session may have just finished: a round-indexed retry of the
+		// final answer (whose response was lost on the wire) replays the
+		// stored final state instead of 404ing the client out of its result.
+		if body.Round > 0 {
+			if ent, ok := s.lookupCompleted(id); ok {
+				if body.Round == ent.round {
+					s.dupRounds.Inc()
+					s.writeStored(w, http.StatusOK, ent.body)
+					return
+				}
+				s.roundConf.Inc()
+				s.conflict(w, ent.round,
+					"round %d does not match finished session %q (last applied %d)", body.Round, id, ent.round)
+				return
+			}
+		}
+		s.httpError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	sp := e.root.StartChild("http.answer")
+	defer sp.End()
+	s.echoTraceparent(w, e)
 	e.mu.Lock()
+	if body.Round > 0 {
+		applied := e.sess.Applied()
+		switch {
+		case body.Round == applied:
+			// Duplicate of the round just applied — the retry of a POST whose
+			// response was lost. The first attempt's effect stands; re-deliver
+			// the stored next question instead of corrupting the polytope by
+			// applying the preference twice.
+			e.mu.Unlock()
+			s.dupRounds.Inc()
+			s.respondState(w, id, e, http.StatusOK)
+			return
+		case body.Round != applied+1:
+			e.mu.Unlock()
+			s.roundConf.Inc()
+			s.conflict(w, applied+1,
+				"round %d out of sync with session %q (expected %d)", body.Round, id, applied+1)
+			return
+		}
+	}
 	// Ensure a question is pending (Next is idempotent for pending ones).
 	_, _, done, ready := e.sess.NextTimeout(s.deadline)
 	if !ready {
@@ -809,7 +964,9 @@ func (s *Server) abort(w http.ResponseWriter, id string) {
 }
 
 // respondState advances to the next question (or result) and serializes it.
-// It takes e.mu itself, so callers must not hold it.
+// It takes e.mu itself, so callers must not hold it. When the session
+// finishes, the exact response bytes are parked in the completed cache so a
+// round-indexed retry of the final answer can be replayed verbatim.
 func (s *Server) respondState(w http.ResponseWriter, id string, e *session, status int) {
 	e.mu.Lock()
 	pi, pj, done, ready := e.sess.NextTimeout(s.deadline)
@@ -818,7 +975,9 @@ func (s *Server) respondState(w http.ResponseWriter, id string, e *session, stat
 		s.notReady(w, id)
 		return
 	}
+	applied := e.sess.Applied()
 	out := statePayload{ID: id, Done: done}
+	present := false
 	if done {
 		res, err := e.sess.Result()
 		e.mu.Unlock()
@@ -849,7 +1008,7 @@ func (s *Server) respondState(w http.ResponseWriter, id string, e *session, stat
 			}
 		}
 		s.mu.Lock()
-		_, present := s.sessions[id]
+		_, present = s.sessions[id]
 		delete(s.sessions, id)
 		s.active.Set(int64(len(s.sessions)))
 		s.mu.Unlock()
@@ -865,11 +1024,106 @@ func (s *Server) respondState(w http.ResponseWriter, id string, e *session, stat
 		}
 	} else {
 		e.mu.Unlock()
+		out.Round = applied + 1
 		out.Question = &questionPayload{First: pi, Second: pj, Attrs: s.ds.Attrs}
 	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		s.encodeErr.Inc()
+		s.log.Warn("response encode failed", "err", err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		return
+	}
+	data = append(data, '\n')
+	if done && present {
+		s.storeCompleted(id, applied, data)
+	}
+	s.writeStored(w, status, data)
+}
+
+// conflict reports 409 with the round the server expects next, so an
+// out-of-sync client can resynchronize deterministically instead of
+// guessing (or worse, re-sending a stale preference blindly).
+func (s *Server) conflict(w http.ResponseWriter, round int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusConflict)
+	s.encode(w, conflictPayload{Error: fmt.Sprintf(format, args...), Round: round})
+}
+
+// writeStored writes pre-marshaled JSON response bytes.
+func (s *Server) writeStored(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	s.encode(w, out)
+	if _, err := w.Write(body); err != nil {
+		s.encodeErr.Inc()
+		s.log.Warn("response write failed", "err", err)
+	}
+}
+
+func (s *Server) storeCompleted(id string, round int, body []byte) {
+	s.cmu.Lock()
+	s.completed.put(id, completedEntry{round: round, body: body})
+	s.cmu.Unlock()
+}
+
+func (s *Server) lookupCompleted(id string) (completedEntry, bool) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	v, ok := s.completed.get(id)
+	if !ok {
+		return completedEntry{}, false
+	}
+	return v.(completedEntry), true
+}
+
+// Drain puts the server into shutdown mode: new session creates are refused
+// with 503 + Retry-After (existing sessions keep answering), and in-flight
+// sessions get up to grace to finish on their own. Sessions still alive when
+// the grace expires are closed with a journaled expiry tombstone — durable,
+// so a later restart recovers them instead of losing their answer prefix
+// silently. Returns how many sessions were force-expired.
+func (s *Server) Drain(grace time.Duration) int {
+	s.mu.Lock()
+	s.draining = true
+	live := len(s.sessions)
+	s.mu.Unlock()
+	s.log.Info("drain started", "live_sessions", live, "grace", grace)
+
+	deadline := s.now().Add(grace)
+	for {
+		s.mu.Lock()
+		n := len(s.sessions)
+		s.mu.Unlock()
+		if n == 0 {
+			return 0
+		}
+		if grace <= 0 || !s.now().Before(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	s.mu.Lock()
+	var victims []*session
+	var victimIDs []string
+	for id, e := range s.sessions {
+		delete(s.sessions, id)
+		victims = append(victims, e)
+		victimIDs = append(victimIDs, id)
+	}
+	s.active.Set(int64(len(s.sessions)))
+	s.mu.Unlock()
+	for i, e := range victims {
+		e.sess.Close()
+		s.journalFinish(victimIDs[i], wal.ReasonExpired)
+		s.finishSessionTrace(e, wal.ReasonExpired, -1, false)
+	}
+	if len(victims) > 0 {
+		s.drainKill.Add(int64(len(victims)))
+		s.log.Warn("drain grace expired; sessions tombstoned", "count", len(victims))
+	}
+	return len(victims)
 }
 
 // encode serializes v to w, logging (rather than dropping) encode errors —

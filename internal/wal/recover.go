@@ -75,6 +75,15 @@ func (l *Log) recover() error {
 // to the session mirror. It returns the byte offset of the last valid
 // record's end and the file size; valid < total signals a corrupted tail.
 func (l *Log) scanSegment(path string) (valid, total int64, err error) {
+	return scanFrames(path, l.applyRecord)
+}
+
+// scanFrames iterates the valid record prefix of one segment file, calling
+// fn for each decoded record. It returns the byte offset of the last valid
+// record's end and the file size; valid < total signals a corrupted tail.
+// Corruption — a short header, an absurd length, a CRC mismatch, an
+// undecodable payload — ends the scan without error.
+func scanFrames(path string, fn func(record)) (valid, total int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("wal: open segment: %w", err)
@@ -111,9 +120,53 @@ func (l *Log) scanSegment(path string) (valid, total int64, err error) {
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			return off, total, nil
 		}
-		l.applyRecord(rec)
+		fn(rec)
 		off += frameHeaderLen + int64(n)
 	}
+}
+
+// RecordInfo is one journaled record in on-disk order, exposed read-only so
+// tests and tools can audit the raw log (e.g. assert answer rounds are
+// strictly increasing — the exactly-once property) without going through the
+// deduplicating recovery path.
+type RecordInfo struct {
+	Kind    Kind
+	ID      string
+	Round   int
+	Prefer  bool
+	Reason  string
+	IdemKey string
+}
+
+// Records scans every segment in dir in sequence order and returns the raw
+// valid-prefix record stream, without mutating anything on disk. Unlike
+// Open it performs no truncation and no deduplication: what was physically
+// appended is what comes back.
+func Records(dir string) ([]RecordInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		if seq, ok := parseSegName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	var out []RecordInfo
+	for _, seq := range seqs {
+		_, _, err := scanFrames(filepath.Join(dir, segName(seq)), func(rec record) {
+			out = append(out, RecordInfo{
+				Kind: rec.Kind, ID: rec.ID, Round: rec.Round,
+				Prefer: rec.Prefer, Reason: rec.Reason, IdemKey: rec.IK,
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // applyRecord folds one valid record into the session mirror. Duplicates
@@ -126,7 +179,7 @@ func (l *Log) applyRecord(rec record) {
 		if _, dup := l.sessions[rec.ID]; dup {
 			return
 		}
-		l.sessions[rec.ID] = &SessionState{ID: rec.ID, Algo: rec.Algo, Eps: rec.Eps, Seed: rec.Seed, Fingerprint: rec.FP}
+		l.sessions[rec.ID] = &SessionState{ID: rec.ID, Algo: rec.Algo, Eps: rec.Eps, Seed: rec.Seed, Fingerprint: rec.FP, IdemKey: rec.IK}
 	case KindAnswer:
 		st, ok := l.sessions[rec.ID]
 		if !ok {

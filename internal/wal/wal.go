@@ -70,6 +70,7 @@ type record struct {
 	Round  int     `json:"n,omitempty"`   // 1-based answer index within the session
 	Prefer bool    `json:"a,omitempty"`   // answer payload
 	Reason string  `json:"why,omitempty"` // finish payload
+	IK     string  `json:"ik,omitempty"`  // Idempotency-Key the create carried
 }
 
 // SessionState is one session reconstructed from (or about to enter) the
@@ -80,6 +81,7 @@ type SessionState struct {
 	Eps         float64
 	Seed        int64
 	Fingerprint uint64
+	IdemKey     string // Idempotency-Key of the create, if the client sent one
 	Answers     []bool
 	Finished    bool   // a tombstone was journaled
 	Reason      string // tombstone reason when Finished
@@ -246,9 +248,9 @@ func (l *Log) AppendCreateCtx(ctx context.Context, st SessionState) error {
 	if _, dup := l.sessions[st.ID]; dup {
 		return fmt.Errorf("wal: duplicate session id %q", st.ID)
 	}
-	err := l.append(ctx, record{Kind: KindCreate, ID: st.ID, Algo: st.Algo, Eps: st.Eps, Seed: st.Seed, FP: st.Fingerprint})
+	err := l.append(ctx, record{Kind: KindCreate, ID: st.ID, Algo: st.Algo, Eps: st.Eps, Seed: st.Seed, FP: st.Fingerprint, IK: st.IdemKey})
 	if err == nil {
-		l.sessions[st.ID] = &SessionState{ID: st.ID, Algo: st.Algo, Eps: st.Eps, Seed: st.Seed, Fingerprint: st.Fingerprint}
+		l.sessions[st.ID] = &SessionState{ID: st.ID, Algo: st.Algo, Eps: st.Eps, Seed: st.Seed, Fingerprint: st.Fingerprint, IdemKey: st.IdemKey}
 	}
 	return err
 }
@@ -476,7 +478,7 @@ func (l *Log) compactLocked() error {
 	for _, id := range ids {
 		st := l.sessions[id]
 		frames := make([]record, 0, len(st.Answers)+1)
-		frames = append(frames, record{Kind: KindCreate, ID: id, Algo: st.Algo, Eps: st.Eps, Seed: st.Seed, FP: st.Fingerprint})
+		frames = append(frames, record{Kind: KindCreate, ID: id, Algo: st.Algo, Eps: st.Eps, Seed: st.Seed, FP: st.Fingerprint, IK: st.IdemKey})
 		for i, a := range st.Answers {
 			frames = append(frames, record{Kind: KindAnswer, ID: id, Round: i + 1, Prefer: a})
 		}
