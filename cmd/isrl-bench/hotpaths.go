@@ -12,6 +12,10 @@ import (
 	"testing"
 	"time"
 
+	"isrl/internal/aa"
+	"isrl/internal/core"
+	"isrl/internal/dataset"
+	"isrl/internal/ea"
 	"isrl/internal/geom"
 	"isrl/internal/lp"
 	"isrl/internal/obs"
@@ -31,6 +35,12 @@ type benchRow struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Iterations  int     `json:"iterations"`
+
+	// RoundsPerSec is set only on whole-session rows (one op = one full
+	// seeded interactive session): the session's deterministic round count
+	// divided by its wall time, the end-to-end number the incremental
+	// geometry engine is meant to move.
+	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
 }
 
 type speedupRow struct {
@@ -133,6 +143,34 @@ func hotLP(rng *rand.Rand, d, cuts int) *lp.Problem {
 	return p
 }
 
+// roundCuts builds a fixed sequence of n preference halfspaces at dimension
+// d, each oriented to keep a hidden witness vector feasible — the cut stream
+// a real interactive session feeds the geometry layer. The sequence is
+// independent of -quick so alloc counts stay comparable across runs.
+func roundCuts(d, n int, seed int64) []geom.Halfspace {
+	rng := rand.New(rand.NewSource(seed))
+	u := geom.SampleSimplex(rng, d)
+	cuts := make([]geom.Halfspace, n)
+	for k := range cuts {
+		pi := make([]float64, d)
+		pj := make([]float64, d)
+		for i := 0; i < d; i++ {
+			pi[i] = rng.Float64()
+			pj[i] = rng.Float64()
+		}
+		h := geom.NewHalfspace(pi, pj)
+		var hu float64
+		for i := range h.Normal {
+			hu += h.Normal[i] * u[i]
+		}
+		if hu < 0 {
+			h = h.Flip()
+		}
+		cuts[k] = h
+	}
+	return cuts
+}
+
 func hotActions(rng *rand.Rand, k, dim int) [][]float64 {
 	actions := make([][]float64, k)
 	for i := range actions {
@@ -173,7 +211,7 @@ func benchScoring(prefix string, stateDim, actionDim, k int) (serial, batched be
 	return serial, batched
 }
 
-func runHotpaths(quick bool, outPath string) error {
+func runHotpaths(quick bool, outPath, comparePath string) error {
 	cands, samples := 64, 256
 	if quick {
 		cands, samples = 32, 64
@@ -261,6 +299,103 @@ func runHotpaths(quick bool, outPath string) error {
 		}
 	}))
 
+	// Round geometry: replay a fixed 12-cut d=4 interaction through the
+	// per-round geometry reads (vertices, inner sphere, outer rectangle).
+	// The scratch row rebuilds everything from the halfspace set each round —
+	// the pre-engine behavior — while the incremental row maintains the
+	// vertex set by halfspace clipping and re-solves warm LPs.
+	cuts := roundCuts(4, 12, 13)
+	scr := row("round_geometry_scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := geom.NewPolytope(4)
+			for _, h := range cuts {
+				p.Add(h)
+				if _, err := p.Vertices(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p.InnerBall(); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := p.OuterRect(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	inc := row("round_geometry_incremental", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := geom.NewPolytope(4)
+			g := geom.NewIncremental(p)
+			for _, h := range cuts {
+				g.AddCtx(ctx, h)
+				if _, err := g.VerticesCtx(ctx); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := g.InnerBallCtx(ctx); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := g.OuterRectCtx(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	add(scr, inc)
+	speed("round_geometry_d4", scr, inc)
+
+	// End-to-end sessions at d=4: one op runs a full seeded interaction to
+	// completion; rounds_per_sec divides the deterministic round count by the
+	// per-op wall time. Engine off vs on is the user-visible payoff.
+	dsEA := dataset.Anticorrelated(rand.New(rand.NewSource(21)), 300, 4).Skyline()
+	benchUser := core.SimulatedUser{Utility: []float64{0.4, 0.3, 0.2, 0.1}}
+	runEASession := func(scratch bool) (core.Result, error) {
+		cfg := ea.Config{Me: 3, Mh: 4, NumSamples: 24, MaxRounds: 60, ScratchGeometry: scratch}
+		e := ea.New(dsEA, 0.1, cfg, rand.New(rand.NewSource(22)))
+		return e.Run(dsEA, benchUser, 0.1, nil)
+	}
+	runAASession := func(scratch bool) (core.Result, error) {
+		cfg := aa.Config{Mh: 4, TopK: 10, RandPairs: 40, MaxLPChecks: 30, MaxRounds: 120, ScratchGeometry: scratch}
+		a := aa.New(dsEA, 0.1, cfg, rand.New(rand.NewSource(23)))
+		return a.Run(dsEA, benchUser, 0.1, nil)
+	}
+	session := func(name string, run func(bool) (core.Result, error), scratch bool) (benchRow, error) {
+		ref, err := run(scratch)
+		if err != nil {
+			return benchRow{}, fmt.Errorf("hotpaths: %s: %w", name, err)
+		}
+		if ref.Degraded || ref.Rounds == 0 {
+			return benchRow{}, fmt.Errorf("hotpaths: %s: degenerate session (%+v)", name, ref)
+		}
+		r := row(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := run(scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		r.RoundsPerSec = float64(ref.Rounds) / (r.NsPerOp * 1e-9)
+		return r, nil
+	}
+	for _, sc := range []struct {
+		prefix string
+		run    func(bool) (core.Result, error)
+	}{{"ea_session_d4", runEASession}, {"aa_session_d4", runAASession}} {
+		base, err := session(sc.prefix+"_scratch", sc.run, true)
+		if err != nil {
+			return err
+		}
+		opt, err := session(sc.prefix+"_incremental", sc.run, false)
+		if err != nil {
+			return err
+		}
+		add(base, opt)
+		speed(sc.prefix+"_rounds_per_sec", base, opt)
+	}
+
 	// Disabled-path tracing overhead: a span start attempt on a context with
 	// no active trace, the extra cost every hot-path call pays when tracing
 	// is off. This must stay at zero allocations and single-digit
@@ -301,5 +436,89 @@ func runHotpaths(quick bool, outPath string) error {
 	for _, sp := range rep.Speedups {
 		fmt.Printf("  %-24s %.2fx (%s vs %s)\n", sp.Name, sp.Speedup, sp.Optimized, sp.Baseline)
 	}
+	if comparePath != "" {
+		return compareReports(comparePath, rep)
+	}
+	return nil
+}
+
+// fixedWorkloadRows are the benchmarks whose per-op workload is identical in
+// -quick and full runs, so their allocation counts are directly comparable
+// against a committed baseline. Sampling and scoring rows scale with -quick
+// and are excluded.
+var fixedWorkloadRows = map[string]bool{
+	"vertices_d4":                true,
+	"lp_solve_d4":                true,
+	"lp_solve_d20":               true,
+	"trace_disabled_span":        true,
+	"round_geometry_scratch":     true,
+	"round_geometry_incremental": true,
+}
+
+// compareReports gates the fresh report against a committed baseline: any
+// speedup the baseline reported as a real win (≥1.1×) must not have decayed
+// into a slowdown (<1.0×), and fixed-workload allocation counts must not
+// blow past the baseline by more than 25% + 2 allocs. Timing noise is
+// expected — only sign flips and alloc growth fail — and a baseline recorded
+// on different hardware is incomparable, so the gate skips itself.
+func compareReports(basePath string, cur hotpathsReport) error {
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var base hotpathsReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("compare: parse %s: %w", basePath, err)
+	}
+	if base.GOOS != cur.GOOS || base.GOARCH != cur.GOARCH ||
+		base.NumCPU != cur.NumCPU || base.GOMAXPROCS != cur.GOMAXPROCS {
+		fmt.Printf("compare: baseline host (%s/%s, %d cpu, GOMAXPROCS %d) differs from this host (%s/%s, %d cpu, GOMAXPROCS %d); skipping regression gate\n",
+			base.GOOS, base.GOARCH, base.NumCPU, base.GOMAXPROCS,
+			cur.GOOS, cur.GOARCH, cur.NumCPU, cur.GOMAXPROCS)
+		return nil
+	}
+	var fails []string
+	gatedSpeedups, gatedAllocs := 0, 0
+	curSp := map[string]float64{}
+	for _, sp := range cur.Speedups {
+		curSp[sp.Name] = sp.Speedup
+	}
+	for _, sp := range base.Speedups {
+		if sp.Speedup < 1.1 {
+			continue // the baseline never claimed a win worth gating
+		}
+		gatedSpeedups++
+		got, ok := curSp[sp.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("speedup %s missing from this run", sp.Name))
+			continue
+		}
+		if got < 1.0 {
+			fails = append(fails, fmt.Sprintf("speedup %s regressed to %.2fx (baseline %.2fx)", sp.Name, got, sp.Speedup))
+		}
+	}
+	curRows := map[string]benchRow{}
+	for _, r := range cur.Benchmarks {
+		curRows[r.Name] = r
+	}
+	for _, r := range base.Benchmarks {
+		if !fixedWorkloadRows[r.Name] {
+			continue
+		}
+		gatedAllocs++
+		got, ok := curRows[r.Name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("benchmark %s missing from this run", r.Name))
+			continue
+		}
+		if limit := float64(r.AllocsPerOp)*1.25 + 2; float64(got.AllocsPerOp) > limit {
+			fails = append(fails, fmt.Sprintf("%s allocates %d/op (baseline %d/op, limit %.0f)", r.Name, got.AllocsPerOp, r.AllocsPerOp, limit))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("compare: %d regression(s) vs %s:\n  %s", len(fails), basePath, strings.Join(fails, "\n  "))
+	}
+	fmt.Printf("compare: no regressions vs %s (%d gated speedups, %d alloc floors)\n",
+		basePath, gatedSpeedups, gatedAllocs)
 	return nil
 }

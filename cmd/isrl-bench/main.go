@@ -8,6 +8,8 @@
 //	isrl-bench -fig fig9 -csv out/       # also write CSV per figure
 //	isrl-bench -hotpaths                 # benchmark hot paths -> BENCH_hotpaths.json
 //	isrl-bench -hotpaths -quick          # smaller workloads (CI smoke)
+//	isrl-bench -hotpaths -quick -out /tmp/b.json -compare BENCH_hotpaths.json
+//	                                     # regression gate vs the committed report
 package main
 
 import (
@@ -36,11 +38,12 @@ func main() {
 		hotpaths = flag.Bool("hotpaths", false, "measure batched/parallel hot paths and write a JSON report")
 		quick    = flag.Bool("quick", false, "with -hotpaths: smaller workloads for CI smoke runs")
 		outPath  = flag.String("out", "BENCH_hotpaths.json", "with -hotpaths: report destination")
+		compare  = flag.String("compare", "", "with -hotpaths: baseline report to gate against (fails on speedup sign flips and alloc growth; skipped on host mismatch)")
 	)
 	flag.Parse()
 
 	if *hotpaths {
-		if err := runHotpaths(*quick, *outPath); err != nil {
+		if err := runHotpaths(*quick, *outPath, *compare); err != nil {
 			fatalf("hotpaths: %v", err)
 		}
 		return

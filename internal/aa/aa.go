@@ -40,6 +40,14 @@ type Config struct {
 	// interaction continues instead of stopping at the centroid.
 	Resilient bool
 
+	// ScratchGeometry disables the round-incremental geometry engine: every
+	// inner-sphere/outer-rectangle LP is built and solved from scratch and
+	// cut probes run uncached (the pre-engine behavior, with the parallel
+	// speculative probe window). The engine replaces those with warm-started
+	// re-solves and a cross-round probe cache; optima agree within LP
+	// tolerance but floating-point drift can reorder near-tie decisions.
+	ScratchGeometry bool
+
 	// RandomActions is an ablation switch (DESIGN.md §5): candidate pairs
 	// are taken in random order instead of nearest-to-center order.
 	RandomActions bool
@@ -146,17 +154,41 @@ type round struct {
 	reason   string // why, when degraded
 }
 
+// newGeo returns the round-incremental engine over poly, or nil when the
+// scratch path was requested.
+func (a *AA) newGeo(poly *geom.Polytope) *geom.Incremental {
+	if a.cfg.ScratchGeometry {
+		return nil
+	}
+	return geom.NewIncremental(poly)
+}
+
+func innerBall(ctx context.Context, poly *geom.Polytope, geo *geom.Incremental) (geom.Ball, error) {
+	if geo != nil {
+		return geo.InnerBallCtx(ctx)
+	}
+	return poly.InnerBallCtx(ctx)
+}
+
+func outerRect(ctx context.Context, poly *geom.Polytope, geo *geom.Incremental) (emin, emax []float64, err error) {
+	if geo != nil {
+		return geo.OuterRectCtx(ctx)
+	}
+	return poly.OuterRectCtx(ctx)
+}
+
 // computeRound derives AA's MDP view from the halfspace set: the inner
 // sphere and outer rectangle (state + stopping test) and the
 // nearest-to-center candidate questions (action space).
-func (a *AA) computeRound(ctx context.Context, poly *geom.Polytope, eps float64) (*round, error) {
+func (a *AA) computeRound(ctx context.Context, poly *geom.Polytope, geo *geom.Incremental, eps float64) (*round, error) {
 	d := a.ds.Dim()
-	ball, err := poly.InnerBallCtx(ctx)
+	ball, err := innerBall(ctx, poly, geo)
 	if err != nil && a.cfg.Resilient && len(poly.Halfspaces) > 0 {
 		// Contradictory answers emptied R: drop the least consistent
-		// constraints and continue (§VI future work).
+		// constraints and continue (§VI future work). The repair mutates the
+		// polytope directly; the engine resynchronizes on the re-read.
 		poly.RepairFeasibility(0)
-		ball, err = poly.InnerBallCtx(ctx)
+		ball, err = innerBall(ctx, poly, geo)
 	}
 	if err != nil {
 		// Empty range (noisy users): stop at the centroid.
@@ -166,7 +198,7 @@ func (a *AA) computeRound(ctx context.Context, poly *geom.Polytope, eps float64)
 			degraded: true, reason: "utility range empty (contradictory answers)",
 		}, nil
 	}
-	emin, emax, err := poly.OuterRectCtx(ctx)
+	emin, emax, err := outerRect(ctx, poly, geo)
 	if err != nil {
 		return nil, fmt.Errorf("aa: %w", err)
 	}
@@ -180,7 +212,7 @@ func (a *AA) computeRound(ctx context.Context, poly *geom.Polytope, eps float64)
 		r.terminal = true
 		return r, nil
 	}
-	r.actions = a.selectActions(ctx, poly, ball.Center)
+	r.actions = a.selectActions(ctx, poly, geo, ball.Center)
 	if len(r.actions) == 0 {
 		// No hyperplane can strictly narrow R further; more questions are
 		// pointless, so stop with the midpoint estimate.
@@ -194,7 +226,7 @@ func (a *AA) computeRound(ctx context.Context, poly *geom.Polytope, eps float64)
 // random pairs), keep the m_h pairs whose hyperplane is nearest the
 // inner-sphere center and properly splits R (both sides non-empty, checked
 // by LP — Lemma 8).
-func (a *AA) selectActions(ctx context.Context, poly *geom.Polytope, center []float64) []action {
+func (a *AA) selectActions(ctx context.Context, poly *geom.Polytope, geo *geom.Incremental, center []float64) []action {
 	ctx, sp := trace.Start(ctx, "aa.select_actions")
 	type cand struct {
 		i, j int
@@ -255,9 +287,24 @@ func (a *AA) selectActions(ctx context.Context, poly *geom.Polytope, center []fl
 	// computed by the worker pool and consumed by the serial accept loop —
 	// budget accounting, the diversity filter, and accept order are
 	// untouched, so the selected actions are identical for any worker count.
+	//
+	// With the incremental engine the probes run serially instead: the warm
+	// LP solver is single-threaded state, and its cross-round negative cache
+	// (a no-cut verdict stays no-cut as R shrinks) eliminates most probes
+	// outright, which is worth more than the speculative window.
 	cuts := make([]int8, len(cands)) // 0 = unprobed, 1 = cuts both sides, 2 = no
 	probe := func(ci int) bool {
 		if cuts[ci] == 0 {
+			if geo != nil {
+				c := cands[ci]
+				h := geom.NewHalfspace(a.ds.Points[c.i], a.ds.Points[c.j])
+				if geo.CutsBothSides(uint64(c.i)<<32|uint64(c.j), h, 1e-9) {
+					cuts[ci] = 1
+				} else {
+					cuts[ci] = 2
+				}
+				return cuts[ci] == 1
+			}
 			window := 1
 			if w := par.Workers(); w > 1 {
 				window = 2 * w
@@ -389,7 +436,8 @@ func (a *AA) Train(users [][]float64) (TrainStats, error) {
 func (a *AA) episode(user core.User, epsilon float64, replay *rl.Replay) (int, error) {
 	ctx := context.Background()
 	poly := geom.NewPolytope(a.ds.Dim())
-	cur, err := a.computeRound(ctx, poly, a.eps)
+	geo := a.newGeo(poly)
+	cur, err := a.computeRound(ctx, poly, geo, a.eps)
 	if err != nil {
 		return 0, err
 	}
@@ -399,13 +447,13 @@ func (a *AA) episode(user core.User, epsilon float64, replay *rl.Replay) (int, e
 		act := cur.actions[ai]
 		pi, pj := a.ds.Points[act.I], a.ds.Points[act.J]
 		if user.Prefer(pi, pj) {
-			poly.Add(geom.NewHalfspace(pi, pj))
+			a.addCut(ctx, poly, geo, geom.NewHalfspace(pi, pj))
 		} else {
-			poly.Add(geom.NewHalfspace(pj, pi))
+			a.addCut(ctx, poly, geo, geom.NewHalfspace(pj, pi))
 		}
 		rounds++
-		a.maybeReduce(poly, rounds)
-		next, err := a.computeRound(ctx, poly, a.eps)
+		a.maybeReduce(poly, geo, rounds)
+		next, err := a.computeRound(ctx, poly, geo, a.eps)
 		if err != nil {
 			return rounds, err
 		}
@@ -426,12 +474,26 @@ func (a *AA) episode(user core.User, epsilon float64, replay *rl.Replay) (int, e
 	return rounds, nil
 }
 
+// addCut records one answer halfspace, through the incremental engine when
+// it is enabled so the maintained vertex set and warm solvers track the cut.
+func (a *AA) addCut(ctx context.Context, poly *geom.Polytope, geo *geom.Incremental, h geom.Halfspace) {
+	if geo != nil {
+		geo.AddCtx(ctx, h)
+		return
+	}
+	poly.Add(h)
+}
+
 // maybeReduce prunes redundant halfspaces periodically so the per-round LPs
 // stay small on long interactions. The set representation is AA's only
 // state, and reduction preserves R exactly.
-func (a *AA) maybeReduce(poly *geom.Polytope, rounds int) {
+func (a *AA) maybeReduce(poly *geom.Polytope, geo *geom.Incremental, rounds int) {
 	if rounds%8 == 0 && len(poly.Halfspaces) > 2*poly.Dim {
-		poly.ReduceRedundant()
+		if geo != nil {
+			geo.Reduce()
+		} else {
+			poly.ReduceRedundant()
+		}
 	}
 }
 
@@ -446,8 +508,8 @@ func feats(actions []action) [][]float64 {
 // safeRound is computeRound behind a panic-containment boundary: a panic in
 // the LP machinery (degenerate tableau, injected fault) surfaces as an error
 // the serving path can degrade on instead of a dead process.
-func (a *AA) safeRound(ctx context.Context, poly *geom.Polytope, eps float64) (r *round, err error) {
-	if perr := core.Guard(func() { r, err = a.computeRound(ctx, poly, eps) }); perr != nil {
+func (a *AA) safeRound(ctx context.Context, poly *geom.Polytope, geo *geom.Incremental, eps float64) (r *round, err error) {
+	if perr := core.Guard(func() { r, err = a.computeRound(ctx, poly, geo, eps) }); perr != nil {
 		return nil, perr
 	}
 	return r, err
@@ -474,6 +536,7 @@ func (a *AA) RunContext(ctx context.Context, ds *dataset.Dataset, user core.User
 		return core.Result{}, core.ErrDatasetMismatch
 	}
 	poly := geom.NewPolytope(a.ds.Dim())
+	geo := a.newGeo(poly)
 	var lastCenter []float64
 	var qas []core.QA
 	rounds, recovered := 0, 0
@@ -489,7 +552,7 @@ func (a *AA) RunContext(ctx context.Context, ds *dataset.Dataset, user core.User
 		}
 		return degrade(err.Error())
 	}
-	cur, err := a.safeRound(ctx, poly, eps)
+	cur, err := a.safeRound(ctx, poly, geo, eps)
 	if err != nil {
 		return fail(err)
 	}
@@ -507,17 +570,17 @@ func (a *AA) RunContext(ctx context.Context, ds *dataset.Dataset, user core.User
 		prefI := user.Prefer(pi, pj)
 		osp.End()
 		if prefI {
-			poly.Add(geom.NewHalfspace(pi, pj))
+			a.addCut(rctx, poly, geo, geom.NewHalfspace(pi, pj))
 		} else {
-			poly.Add(geom.NewHalfspace(pj, pi))
+			a.addCut(rctx, poly, geo, geom.NewHalfspace(pj, pi))
 		}
 		rounds++
-		a.maybeReduce(poly, rounds)
+		a.maybeReduce(poly, geo, rounds)
 		qas = append(qas, core.QA{I: act.I, J: act.J, PreferredI: prefI})
 		if obs != nil {
 			obs.Round(rounds, poly.Halfspaces)
 		}
-		cur, err = a.safeRound(rctx, poly, eps)
+		cur, err = a.safeRound(rctx, poly, geo, eps)
 		if rsp != nil {
 			rsp.SetBool("error", err != nil)
 			rsp.End()

@@ -15,7 +15,11 @@ import (
 func TestChaosInjectedLPPanicDegradesUnderPool(t *testing.T) {
 	defer par.SetMaxWorkers(par.SetMaxWorkers(4))
 	ds := testData(t, 300, 3, 61)
-	a := New(ds, 0.1, smallCfg(), rand.New(rand.NewSource(62)))
+	// The fanned-out probe window only exists on the scratch path; the
+	// incremental engine probes serially through its warm solver.
+	cfg := smallCfg()
+	cfg.ScratchGeometry = true
+	a := New(ds, 0.1, cfg, rand.New(rand.NewSource(62)))
 	// After skips the session's first serial LPs (inner ball, outer rect) so
 	// the armed panic lands during the fanned-out feasibility probes.
 	fault.Install(fault.NewPlan(63).Set(fault.PointLPSolve, fault.Spec{PanicProb: 1, After: 12}))

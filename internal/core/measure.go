@@ -35,15 +35,24 @@ func MaxRegretEstimate(ds *dataset.Dataset, halfspaces []geom.Halfspace, rng *ra
 	for _, h := range halfspaces {
 		poly.Add(h)
 	}
-	ball, err := poly.InnerBall()
-	if err != nil {
+	ball, ballErr := poly.InnerBall()
+	if ballErr != nil {
 		// Empty range (possible with noisy users): fall back to the simplex
 		// centroid so the metric stays defined.
 		ball = geom.Ball{Center: geom.SimplexCentroid(d)}
 	}
 	p := ds.Points[ds.TopPoint(ball.Center)]
 	worst := ds.RegretRatio(p, ball.Center)
-	samples, err := poly.Sample(rng, numSamples, geom.SampleOptions{})
+	// Reuse the ball center as the sampling start: it is exactly the point
+	// Sample would recompute with its own inner-ball LP, so passing it skips
+	// that duplicate solve without changing a single drawn coordinate. Only
+	// a strictly interior center qualifies — a degenerate ball must keep the
+	// empty-interior error path.
+	opts := geom.SampleOptions{}
+	if ballErr == nil && ball.Radius > 0 {
+		opts.Start = ball.Center
+	}
+	samples, err := poly.Sample(rng, numSamples, opts)
 	if err != nil {
 		return worst
 	}

@@ -37,6 +37,12 @@ type Config struct {
 	// interaction continues instead of terminating with a fallback point.
 	Resilient bool
 
+	// ScratchGeometry disables the round-incremental geometry engine and
+	// recomputes the vertex set from scratch every round (the pre-engine
+	// behavior). The engine is deterministic and bit-identical to scratch —
+	// this switch exists for benchmarking and as an escape hatch.
+	ScratchGeometry bool
+
 	// Ablation switches (see DESIGN.md §5). All default off.
 	NoExtremeState bool // zero out the selected-extreme-vectors state part
 	NoSphereState  bool // zero out the outer-sphere state part
@@ -150,20 +156,56 @@ type round struct {
 	reason   string // why, when degraded
 }
 
+// newGeo returns the round-incremental engine over poly, or nil when the
+// scratch path was requested. A nil handle makes every helper below fall
+// through to the plain Polytope methods.
+func (e *EA) newGeo(poly *geom.Polytope) *geom.Incremental {
+	if e.cfg.ScratchGeometry {
+		return nil
+	}
+	return geom.NewIncremental(poly)
+}
+
+// vertices reads the current vertex set through the engine when one is
+// active. The engine serves its maintained list (bit-identical to scratch
+// enumeration) and rebuilds from scratch whenever it cannot vouch for it.
+func vertices(ctx context.Context, poly *geom.Polytope, geo *geom.Incremental) ([][]float64, error) {
+	if geo != nil {
+		return geo.VerticesCtx(ctx)
+	}
+	return poly.VerticesCtx(ctx)
+}
+
+// applyCut intersects the range with the learned halfspace and prunes
+// redundant constraints, through the engine when one is active. Both paths
+// make identical keep/remove decisions; the engine additionally folds the
+// cut into its maintained vertex set and warm solvers.
+func applyCut(ctx context.Context, poly *geom.Polytope, geo *geom.Incremental, h geom.Halfspace) {
+	if geo != nil {
+		geo.AddCtx(ctx, h)
+		geo.Reduce()
+		return
+	}
+	poly.Add(h)
+	poly.ReduceRedundant()
+}
+
 // computeRound derives the MDP view of the current utility range: the
 // Lemma-6 terminal test, the two-part state vector, and the restricted
 // action pool from terminal-polyhedron representatives.
-func (e *EA) computeRound(ctx context.Context, poly *geom.Polytope, eps float64) (*round, error) {
+func (e *EA) computeRound(ctx context.Context, poly *geom.Polytope, geo *geom.Incremental, eps float64) (*round, error) {
 	r := &round{poly: poly, stopIdx: -1}
-	verts, err := poly.VerticesCtx(ctx)
+	verts, err := vertices(ctx, poly, geo)
 	if err != nil {
 		return nil, fmt.Errorf("ea: %w", err)
 	}
 	if len(verts) == 0 && e.cfg.Resilient && len(poly.Halfspaces) > 0 {
 		// Contradictory answers emptied R: drop the least consistent
-		// constraints and continue (§VI future work).
+		// constraints and continue (§VI future work). The repair mutates the
+		// polytope directly; the engine notices via the mutation generation
+		// and resynchronizes on the re-read.
 		poly.RepairFeasibility(0)
-		if verts, err = poly.VerticesCtx(ctx); err != nil {
+		if verts, err = vertices(ctx, poly, geo); err != nil {
 			return nil, fmt.Errorf("ea: %w", err)
 		}
 	}
@@ -315,8 +357,8 @@ func (e *EA) fallbackPoint(poly *geom.Polytope) int {
 // safeRound is computeRound behind a panic-containment boundary: a panic in
 // the LP/vertex machinery (degenerate polytope, injected fault) surfaces as
 // an error the serving path can degrade on instead of a dead process.
-func (e *EA) safeRound(ctx context.Context, poly *geom.Polytope, eps float64) (r *round, err error) {
-	if perr := core.Guard(func() { r, err = e.computeRound(ctx, poly, eps) }); perr != nil {
+func (e *EA) safeRound(ctx context.Context, poly *geom.Polytope, geo *geom.Incremental, eps float64) (r *round, err error) {
+	if perr := core.Guard(func() { r, err = e.computeRound(ctx, poly, geo, eps) }); perr != nil {
 		return nil, perr
 	}
 	return r, err
@@ -385,7 +427,8 @@ func (e *EA) Train(users [][]float64) (TrainStats, error) {
 func (e *EA) episode(user core.User, epsilon float64, replay *rl.Replay, obs core.Observer) (int, error) {
 	ctx := context.Background()
 	poly := geom.NewPolytope(e.ds.Dim())
-	cur, err := e.computeRound(ctx, poly, e.eps)
+	geo := e.newGeo(poly)
+	cur, err := e.computeRound(ctx, poly, geo, e.eps)
 	if err != nil {
 		return 0, err
 	}
@@ -408,13 +451,12 @@ func (e *EA) episode(user core.User, epsilon float64, replay *rl.Replay, obs cor
 		} else {
 			h = geom.NewHalfspace(pj, pi)
 		}
-		poly.Add(h)
-		poly.ReduceRedundant()
+		applyCut(ctx, poly, geo, h)
 		rounds++
 		if obs != nil {
 			obs.Round(rounds, poly.Halfspaces)
 		}
-		next, err := e.computeRound(ctx, poly, e.eps)
+		next, err := e.computeRound(ctx, poly, geo, e.eps)
 		if err != nil {
 			return rounds, err
 		}
@@ -492,6 +534,7 @@ func (e *EA) RunContext(ctx context.Context, ds *dataset.Dataset, user core.User
 	defer func() { e.eps = savedEps }()
 
 	poly := geom.NewPolytope(e.ds.Dim())
+	geo := e.newGeo(poly)
 	var lastCenter []float64
 	var qas []core.QA
 	rounds, recovered := 0, 0
@@ -507,7 +550,7 @@ func (e *EA) RunContext(ctx context.Context, ds *dataset.Dataset, user core.User
 		}
 		return degrade(err.Error())
 	}
-	cur, err := e.safeRound(ctx, poly, eps)
+	cur, err := e.safeRound(ctx, poly, geo, eps)
 	if err != nil {
 		return fail(err)
 	}
@@ -530,17 +573,16 @@ func (e *EA) RunContext(ctx context.Context, ds *dataset.Dataset, user core.User
 		prefI := user.Prefer(pi, pj)
 		osp.End()
 		if prefI {
-			poly.Add(geom.NewHalfspace(pi, pj))
+			applyCut(rctx, poly, geo, geom.NewHalfspace(pi, pj))
 		} else {
-			poly.Add(geom.NewHalfspace(pj, pi))
+			applyCut(rctx, poly, geo, geom.NewHalfspace(pj, pi))
 		}
-		poly.ReduceRedundant()
 		rounds++
 		qas = append(qas, core.QA{I: act.I, J: act.J, PreferredI: prefI})
 		if obs != nil {
 			obs.Round(rounds, poly.Halfspaces)
 		}
-		cur, err = e.safeRound(rctx, poly, eps)
+		cur, err = e.safeRound(rctx, poly, geo, eps)
 		if rsp != nil {
 			rsp.SetBool("error", err != nil)
 			rsp.End()

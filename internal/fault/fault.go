@@ -39,6 +39,8 @@ const (
 	PointWALSync   = "wal.sync"       // internal/wal: one journal fsync
 	PointWALRename = "wal.rename"     // internal/wal: one segment rename (rotation/compaction)
 	PointClientReq = "client.request" // client: one HTTP attempt leaving the SDK
+	PointLPWarm    = "lp.warm"        // internal/lp: one warm-start repair (push or re-optimize)
+	PointIncClip   = "geom.inc.clip"  // internal/geom: one incremental halfspace clip
 )
 
 // ErrInjected is the sentinel wrapped by every injected error; callers test

@@ -1,6 +1,7 @@
 package geom
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -95,6 +96,49 @@ func BenchmarkGreedyCover(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		GreedyCover(pts, 5, 0.1)
+	}
+}
+
+// BenchmarkIncrementalClip4D measures one steady-state round of the
+// incremental engine — clip the new halfspace into the maintained vertex
+// set, then read the vertices — against BenchmarkVertices4D's from-scratch
+// re-enumeration of the same kind of polytope.
+func BenchmarkIncrementalClip4D(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := 4
+	u := SampleSimplex(rng, d)
+	cuts := make([]Halfspace, 11)
+	for k := range cuts {
+		w := make([]float64, d)
+		var wu float64
+		for i := range w {
+			w[i] = rng.NormFloat64()
+			wu += w[i] * u[i]
+		}
+		if wu < 0 {
+			for i := range w {
+				w[i] = -w[i]
+			}
+		}
+		cuts[k] = Halfspace{Normal: w}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := NewPolytope(d)
+		g := NewIncremental(p)
+		for _, h := range cuts[:10] {
+			g.Add(h)
+		}
+		if _, err := g.VerticesCtx(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		g.Add(cuts[10])
+		if _, err := g.VerticesCtx(context.Background()); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -24,6 +24,17 @@ var (
 	lpSolveMS  = obs.Default().Histogram("geom.lp_solve_ms", obs.MicroBuckets())
 	sampleMS   = obs.Default().Histogram("geom.sample_ms", obs.MicroBuckets())
 	verticesMS = obs.Default().Histogram("geom.vertices_ms", obs.MicroBuckets())
+
+	// Round-incremental engine counters: how often a new halfspace was folded
+	// into the maintained vertex set by a local clip, how often the engine had
+	// to rebuild from scratch, how often it degraded mid-operation (numeric
+	// edge or injected fault), and the cache hit volumes that replace repeat
+	// enumerations and LP probes.
+	incClips     = obs.Default().Counter("geom.inc.clips")
+	incRebuilds  = obs.Default().Counter("geom.inc.rebuilds")
+	incFallbacks = obs.Default().Counter("geom.inc.fallbacks")
+	incVertHits  = obs.Default().Counter("geom.inc.vertex_hits")
+	incProbeHits = obs.Default().Counter("geom.inc.probe_cache_hits")
 )
 
 // solveLP is lp.Solve with a call counter and duration histogram — every

@@ -21,6 +21,13 @@ type Polytope struct {
 	// vertsDirty marks the cached vertex set stale.
 	verts      [][]float64
 	vertsDirty bool
+
+	// Mutation generations, read by the round-incremental engine to detect
+	// changes made behind its back: gen counts every structural mutation,
+	// grow only those that may enlarge R (halfspace drops during feasibility
+	// repair) — the ones that invalidate monotone negative-probe caches.
+	gen  uint64
+	grow uint64
 }
 
 // NewPolytope returns the full utility space U in d dimensions.
@@ -33,7 +40,7 @@ func NewPolytope(d int) *Polytope {
 
 // Clone returns a deep copy of p (vertex cache included).
 func (p *Polytope) Clone() *Polytope {
-	c := &Polytope{Dim: p.Dim, vertsDirty: p.vertsDirty}
+	c := &Polytope{Dim: p.Dim, vertsDirty: p.vertsDirty, gen: p.gen, grow: p.grow}
 	c.Halfspaces = make([]Halfspace, len(p.Halfspaces))
 	for i, h := range p.Halfspaces {
 		c.Halfspaces[i] = Halfspace{Normal: vec.Clone(h.Normal)}
@@ -54,6 +61,7 @@ func (p *Polytope) Add(h Halfspace) {
 	}
 	p.Halfspaces = append(p.Halfspaces, h)
 	p.vertsDirty = true
+	p.gen++
 }
 
 // Contains reports whether u lies in R within tol.
@@ -212,6 +220,17 @@ func (p *Polytope) InnerBall() (Ball, error) {
 func (p *Polytope) InnerBallCtx(ctx context.Context) (Ball, error) {
 	ctx, sp := trace.Start(ctx, "geom.inner_ball")
 	defer sp.End()
+	res := solveLPCtx(ctx, p.innerBallProblem())
+	if res.Status != lp.Optimal {
+		return Ball{}, fmt.Errorf("geom: inner ball: %v", res.Status)
+	}
+	return Ball{Center: res.X[:p.Dim], Radius: res.Objective}, nil
+}
+
+// innerBallProblem builds the Chebyshev-center LP over R ∩ U with variables
+// (c₀..c_{d−1}, r). Shared by the from-scratch solve and the warm solver so
+// both paths assemble bit-identical tableaus.
+func (p *Polytope) innerBallProblem() *lp.Problem {
 	d := p.Dim
 	prob := &lp.Problem{NumVars: d + 1, Maximize: make([]float64, d+1)}
 	prob.Maximize[d] = 1 // maximize radius r
@@ -228,22 +247,26 @@ func (p *Polytope) InnerBallCtx(ctx context.Context) (Ball, error) {
 		prob.AddGE(row, 0)
 	}
 	for _, h := range p.Halfspaces {
-		n := vec.Norm(h.Normal)
-		if n == 0 {
-			continue
+		if row, ok := innerBallRow(h, d); ok {
+			prob.AddGE(row, 0)
 		}
-		row := make([]float64, d+1)
-		for j, wj := range h.Normal {
-			row[j] = wj / n
-		}
-		row[d] = -1 // w·c/‖w‖ − r ≥ 0
-		prob.AddGE(row, 0)
 	}
-	res := solveLPCtx(ctx, prob)
-	if res.Status != lp.Optimal {
-		return Ball{}, fmt.Errorf("geom: inner ball: %v", res.Status)
+	return prob
+}
+
+// innerBallRow converts a halfspace into its normalized Chebyshev row
+// w·c/‖w‖ − r ≥ 0, or reports ok=false for a zero normal (no constraint).
+func innerBallRow(h Halfspace, d int) ([]float64, bool) {
+	n := vec.Norm(h.Normal)
+	if n == 0 {
+		return nil, false
 	}
-	return Ball{Center: res.X[:d], Radius: res.Objective}, nil
+	row := make([]float64, d+1)
+	for j, wj := range h.Normal {
+		row[j] = wj / n
+	}
+	row[d] = -1 // w·c/‖w‖ − r ≥ 0
+	return row, true
 }
 
 // ErrEmpty reports an operation on an empty utility range.
@@ -282,6 +305,8 @@ func (p *Polytope) RepairFeasibility(maxDrops int) int {
 		}
 		p.Halfspaces = append(p.Halfspaces[:bestIdx], p.Halfspaces[bestIdx+1:]...)
 		p.vertsDirty = true
+		p.gen++
+		p.grow++ // dropping a binding constraint may enlarge R
 		removed++
 	}
 }
@@ -307,6 +332,7 @@ func (p *Polytope) ReduceRedundant() int {
 		}
 		p.Halfspaces = append(p.Halfspaces[:i], p.Halfspaces[i+1:]...)
 		p.vertsDirty = true
+		p.gen++ // R itself is unchanged (h was redundant), so grow stays put
 		removed++
 	}
 	return removed

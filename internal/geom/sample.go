@@ -33,6 +33,15 @@ type SampleOptions struct {
 	BurnIn int // steps discarded before the first sample (default 5·d)
 	Thin   int // steps between retained samples (default d)
 	Chains int // independent chains run in parallel (default 4, capped at n)
+
+	// Start, when non-nil and still inside R, seeds every chain from this
+	// point and skips the inner-ball LP entirely — the cross-round warm
+	// start for callers that already know an interior point (a previously
+	// computed Chebyshev center). A nil or no-longer-contained Start falls
+	// back to solving for the ball center as before. Note the fallback also
+	// restores the empty-interior error; a caller-provided Start bypasses
+	// that check.
+	Start []float64
 }
 
 // defaultChains is the number of independent hit-and-run chains Sample
@@ -70,12 +79,16 @@ func (p *Polytope) SampleCtx(ctx context.Context, rng *rand.Rand, n int, opts Sa
 		return nil, fmt.Errorf("geom: sample: %w", err)
 	}
 	d := p.Dim
-	ib, err := p.InnerBallCtx(ctx)
-	if err != nil {
-		return nil, err
-	}
-	if ib.Radius <= 0 {
-		return nil, fmt.Errorf("geom: sample: polytope has empty interior (radius %g)", ib.Radius)
+	from := opts.Start
+	if len(from) != d || !p.Contains(from, 1e-7) {
+		ib, err := p.InnerBallCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if ib.Radius <= 0 {
+			return nil, fmt.Errorf("geom: sample: polytope has empty interior (radius %g)", ib.Radius)
+		}
+		from = ib.Center
 	}
 	if opts.BurnIn == 0 {
 		opts.BurnIn = 5 * d
@@ -95,7 +108,13 @@ func (p *Polytope) SampleCtx(ctx context.Context, rng *rand.Rand, n int, opts Sa
 	}
 	// Per-chain RNG streams, seeded in chain order from the caller's rng.
 	streams := par.SeedStreams(rng, chains)
+	// One flat backing array instead of n row allocations; chains fill
+	// disjoint pre-cut rows, so sharing it is race-free.
 	out := make([][]float64, n)
+	flat := make([]float64, n*d)
+	for k := range out {
+		out[k] = flat[k*d : (k+1)*d : (k+1)*d]
+	}
 	base, extra := n/chains, n%chains
 	offset := make([]int, chains+1)
 	for c := 0; c < chains; c++ {
@@ -110,14 +129,15 @@ func (p *Polytope) SampleCtx(ctx context.Context, rng *rand.Rand, n int, opts Sa
 		sp.SetInt("chains", int64(chains))
 	}
 	par.DoCtx(ctx, chains, func(c int) {
-		p.runChain(streams[c], ib.Center, opts, out[offset[c]:offset[c+1]])
+		p.runChain(streams[c], from, opts, out[offset[c]:offset[c+1]])
 	})
 	return out, nil
 }
 
-// runChain walks one hit-and-run chain from start, filling every slot of
-// out with a retained sample. It touches only read-only polytope state and
-// its own buffers, so chains may run concurrently.
+// runChain walks one hit-and-run chain from start, filling every
+// pre-allocated slot of out with a retained sample. It touches only
+// read-only polytope state and its own buffers, so chains may run
+// concurrently.
 func (p *Polytope) runChain(rng *rand.Rand, start []float64, opts SampleOptions, out [][]float64) {
 	cur := vec.Clone(start)
 	dir := make([]float64, len(start))
@@ -127,7 +147,7 @@ func (p *Polytope) runChain(rng *rand.Rand, start []float64, opts SampleOptions,
 		p.randomZeroSumDir(rng, dir)
 		lo, hi, ok := p.chord(cur, dir)
 		if !ok {
-			// Numerical corner: restart from the interior center.
+			// Numerical corner: restart from the interior start point.
 			copy(cur, start)
 			continue
 		}
@@ -135,14 +155,14 @@ func (p *Polytope) runChain(rng *rand.Rand, start []float64, opts SampleOptions,
 		vec.AddScaled(cur, cur, t, dir)
 		clampSimplex(cur)
 		if s >= opts.BurnIn && (s-opts.BurnIn)%opts.Thin == opts.Thin-1 {
-			out[k] = vec.Clone(cur)
+			copy(out[k], cur)
 			k++
 		}
 	}
 	// The restart branch skips retention slots; backfill any misses with
 	// the last position so every slot is a valid interior point.
 	for ; k < len(out); k++ {
-		out[k] = vec.Clone(cur)
+		copy(out[k], cur)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"isrl/internal/fault"
@@ -89,11 +90,14 @@ func (p *Polytope) VerticesCtx(ctx context.Context) ([][]float64, error) {
 
 	var out [][]float64
 	seen := make(map[string]bool)
+	var keyBuf []byte
 	for _, local := range locals {
 		for _, u := range local {
-			key := quantKey(u)
-			if !seen[key] {
-				seen[key] = true
+			keyBuf = quantKeyAppend(keyBuf[:0], u)
+			// string([]byte) map index does not allocate; only a genuinely
+			// new key pays for its string conversion on insert.
+			if !seen[string(keyBuf)] {
+				seen[string(keyBuf)] = true
 				out = append(out, u)
 			}
 		}
@@ -109,16 +113,39 @@ func (p *Polytope) VerticesCtx(ctx context.Context) ([][]float64, error) {
 	return out, nil
 }
 
+// enumScratch is per-task enumeration scratch — the d×d system, its solver
+// workspace and the subset index vector — pooled so the hot enumeration
+// allocates only for vertices that actually make it into the output.
+type enumScratch struct {
+	A   *vec.Mat
+	b   []float64
+	x   []float64
+	idx []int
+	lin vec.LinSolver
+}
+
+var enumPool = sync.Pool{New: func() any { return new(enumScratch) }}
+
 // enumerateVerticesFrom solves every d×d system whose active-constraint
 // subset has smallest pool index first, returning feasible vertices in
 // lexicographic enumeration order (undeduplicated).
 func (p *Polytope) enumerateVerticesFrom(pool [][]float64, first int) [][]float64 {
 	d := p.Dim
-	A := vec.NewMat(d, d)
-	b := make([]float64, d)
+	sc := enumPool.Get().(*enumScratch)
+	defer enumPool.Put(sc)
+	if sc.A == nil || cap(sc.A.Data) < d*d {
+		sc.A = vec.NewMat(d, d)
+		sc.b = make([]float64, d)
+		sc.x = make([]float64, d)
+		sc.idx = make([]int, d)
+	}
+	A := sc.A
+	A.Rows, A.Cols = d, d
+	A.Data = A.Data[:d*d]
+	b, idx := sc.b[:d], sc.idx[:d-1]
+	vec.Fill(b, 0)
 	b[0] = 1
 	var out [][]float64
-	idx := make([]int, d-1)
 	idx[0] = first
 	var rec func(start, k int)
 	rec = func(start, k int) {
@@ -130,12 +157,13 @@ func (p *Polytope) enumerateVerticesFrom(pool [][]float64, first int) [][]float6
 			for r, ci := range idx {
 				copy(A.Row(r+1), pool[ci])
 			}
-			u, ok := vec.SolveLinear(A, b, 1e-10)
+			u, ok := sc.lin.Solve(sc.x[:d], A, b, 1e-10)
 			if !ok {
 				return
 			}
 			if p.feasibleVertex(u) {
-				out = append(out, u)
+				// Only survivors escape; infeasible candidates reuse scratch.
+				out = append(out, vec.Clone(u))
 			}
 			return
 		}
@@ -168,7 +196,12 @@ func (p *Polytope) feasibleVertex(u []float64) bool {
 }
 
 func quantKey(u []float64) string {
-	buf := make([]byte, 0, len(u)*8)
+	return string(quantKeyAppend(make([]byte, 0, len(u)*8), u))
+}
+
+// quantKeyAppend appends the quantized key bytes of u to buf, letting hot
+// loops reuse one buffer across candidates.
+func quantKeyAppend(buf []byte, u []float64) []byte {
 	for _, ui := range u {
 		q := int64(math.Round(ui * 1e7))
 		if q == 0 {
@@ -178,7 +211,7 @@ func quantKey(u []float64) string {
 			buf = append(buf, byte(q>>s))
 		}
 	}
-	return string(buf)
+	return buf
 }
 
 func lexLess(a, b []float64) bool {

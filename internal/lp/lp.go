@@ -200,6 +200,28 @@ func Solve(p *Problem) Result {
 	if err := fault.Hit(fault.PointLPSolve); err != nil {
 		return Result{Status: IterLimit}
 	}
+	ar := arenaPool.Get().(*arena)
+	ar.reset()
+	defer arenaPool.Put(ar)
+	res, _, _ := solveCore(p, ar)
+	return res
+}
+
+// layout records the standard-form column map solveCore built: the x⁺/x⁻
+// column of every original variable and the total column count. Slices are
+// carved from the arena passed to solveCore and stay valid only until its
+// next reset.
+type layout struct {
+	posCol []int
+	negCol []int
+	cols   int
+}
+
+// solveCore runs the two-phase simplex against the arena-backed tableau and
+// returns the final tableau state alongside the result, so warm-start callers
+// can copy the optimal basis out. On non-Optimal statuses the tableau is not
+// meaningful. Solve is exactly fault-hook + pooled-arena + solveCore.
+func solveCore(p *Problem, ar *arena) (Result, *tableau, layout) {
 	n := p.NumVars
 	if len(p.Maximize) != n {
 		panic(fmt.Sprintf("lp: objective has %d coefficients, want %d", len(p.Maximize), n))
@@ -216,10 +238,6 @@ func Solve(p *Problem) Result {
 	// surplus column per inequality, then one artificial per row that needs
 	// one (GE and EQ rows, and LE rows whose RHS went negative).
 	free := func(j int) bool { return j < len(p.Free) && p.Free[j] }
-
-	ar := arenaPool.Get().(*arena)
-	ar.reset()
-	defer arenaPool.Put(ar)
 
 	posCol := ar.ints(n) // column of x⁺ for var j
 	negCol := ar.ints(n) // column of x⁻, or -1
@@ -308,6 +326,7 @@ func Solve(p *Problem) Result {
 	}
 
 	tab := &tableau{t: t, basis: basis, cols: cols, ar: ar}
+	lay := layout{posCol: posCol, negCol: negCol, cols: cols}
 
 	// --- Phase 1: drive artificials out -------------------------------
 	if numArt > 0 {
@@ -320,10 +339,10 @@ func Solve(p *Problem) Result {
 		}
 		z, st := tab.run(obj, nil)
 		if st != Optimal {
-			return Result{Status: IterLimit}
+			return Result{Status: IterLimit}, tab, lay
 		}
 		if z < -feasTol {
-			return Result{Status: Infeasible}
+			return Result{Status: Infeasible}, tab, lay
 		}
 		// Pivot any lingering (degenerate, zero-valued) artificials out of
 		// the basis, then forbid their columns.
@@ -363,7 +382,7 @@ func Solve(p *Problem) Result {
 	}
 	z, st := tab.run(obj, tab.banned)
 	if st != Optimal {
-		return Result{Status: st}
+		return Result{Status: st}, tab, lay
 	}
 
 	// Recover x.
@@ -378,7 +397,7 @@ func Solve(p *Problem) Result {
 			x[j] -= xs[negCol[j]]
 		}
 	}
-	return Result{Status: Optimal, X: x, Objective: z}
+	return Result{Status: Optimal, X: x, Objective: z}, tab, lay
 }
 
 // tableau is the dense simplex working state shared by both phases.

@@ -93,8 +93,10 @@ func TestMetricNameHygiene(t *testing.T) {
 		t.Fatalf("audit scanned %d files and found %d metric names; the source scan looks broken", files, len(kinds))
 	}
 	// The resilience layers must stay instrumented: the client SDK and the
-	// netfault proxy each register at least one metric the scan can see.
-	for _, prefix := range []string{"client.", "netfault."} {
+	// netfault proxy each register at least one metric the scan can see, and
+	// the incremental geometry engine and warm LP solver keep their
+	// fallback/hit-rate counters observable.
+	for _, prefix := range []string{"client.", "netfault.", "geom.inc.", "lp.warm."} {
 		found := false
 		for name := range kinds {
 			if strings.HasPrefix(name, prefix) {

@@ -69,6 +69,21 @@ func (m *Mat) MulTransVec(dst, x []float64) []float64 {
 // partial pivoting. A and b are left unmodified. It reports failure when the
 // system is (numerically) singular, i.e. a pivot falls below tol.
 func SolveLinear(A *Mat, b []float64, tol float64) ([]float64, bool) {
+	var s LinSolver
+	return s.Solve(nil, A, b, tol)
+}
+
+// LinSolver is reusable scratch for repeated SolveLinear-style solves of
+// similar size, avoiding the per-call augmented-matrix allocation. The zero
+// value is ready to use; not safe for concurrent use.
+type LinSolver struct {
+	aug Mat
+}
+
+// Solve is SolveLinear writing the solution into dst (grown when too small).
+// The elimination is arithmetic-for-arithmetic the same as SolveLinear, so
+// results are bit-identical. On failure dst's contents are unspecified.
+func (s *LinSolver) Solve(dst []float64, A *Mat, b []float64, tol float64) ([]float64, bool) {
 	n := A.Rows
 	if A.Cols != n || len(b) != n {
 		panic(fmt.Sprintf("vec: SolveLinear shape mismatch %dx%d, b=%d", A.Rows, A.Cols, len(b)))
@@ -77,7 +92,12 @@ func SolveLinear(A *Mat, b []float64, tol float64) ([]float64, bool) {
 		tol = 1e-12
 	}
 	// Work on an augmented copy.
-	aug := NewMat(n, n+1)
+	if cap(s.aug.Data) < n*(n+1) {
+		s.aug.Data = make([]float64, n*(n+1))
+	}
+	s.aug.Rows, s.aug.Cols = n, n+1
+	s.aug.Data = s.aug.Data[:n*(n+1)]
+	aug := &s.aug
 	for i := 0; i < n; i++ {
 		copy(aug.Row(i)[:n], A.Row(i))
 		aug.Set(i, n, b[i])
@@ -113,7 +133,7 @@ func SolveLinear(A *Mat, b []float64, tol float64) ([]float64, bool) {
 		}
 	}
 	// Back substitution.
-	x := make([]float64, n)
+	x := ensure(dst, n)
 	for i := n - 1; i >= 0; i-- {
 		s := aug.At(i, n)
 		row := aug.Row(i)

@@ -12,12 +12,19 @@ go vet ./...
 go test -race ./...
 go test -race -run 'Fault|Noisy|Chaos|Recover|Journal|Proxy|Client' -count=2 ./...
 
-# Benchmark smoke: the hot-path harness must run end to end and emit
-# well-formed JSON (checked with grep to stay dependency-free). The
-# trace_disabled_span row doubles as the tracing-overhead gate — the
-# harness itself fails if the disabled path costs any allocations.
-go run ./cmd/isrl-bench -hotpaths -quick -out /tmp/isrl_hotpaths_smoke.json
+# Benchmark smoke + regression gate: the hot-path harness must run end to
+# end, emit well-formed JSON (checked with grep to stay dependency-free),
+# and not regress against the committed baseline — speedups the baseline
+# reports as real wins (>=1.1x) must not flip into slowdowns, and
+# fixed-workload allocation counts must stay within 25% + 2 allocs of the
+# baseline. The gate skips itself when the baseline was recorded on
+# different hardware. The trace_disabled_span row doubles as the
+# tracing-overhead gate — the harness itself fails if the disabled path
+# costs any allocations.
+go run ./cmd/isrl-bench -hotpaths -quick -out /tmp/isrl_hotpaths_smoke.json -compare BENCH_hotpaths.json
 grep -q '"speedup"' /tmp/isrl_hotpaths_smoke.json
 grep -q '"dqn_candidate_scoring"' /tmp/isrl_hotpaths_smoke.json
 grep -q '"trace_disabled_span"' /tmp/isrl_hotpaths_smoke.json
+grep -q '"round_geometry_incremental"' /tmp/isrl_hotpaths_smoke.json
+grep -q '"rounds_per_sec"' /tmp/isrl_hotpaths_smoke.json
 rm -f /tmp/isrl_hotpaths_smoke.json
