@@ -99,6 +99,24 @@ func (b *breaker) allow(host, sid string) bool {
 	}
 }
 
+// quarantined reports, without mutating any state, whether host is in its
+// open-circuit cooldown — the endpoint picker skips such hosts so failover
+// traffic goes straight to a live endpoint instead of burning an attempt.
+// Once the cooldown elapses it returns false so the host can earn a
+// half-open probe again.
+func (b *breaker) quarantined(host string) bool {
+	if b.trips <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.hosts[host]
+	if h == nil {
+		return false
+	}
+	return h.state == stateOpen && b.now().Sub(h.openedAt) < b.cooldown
+}
+
 // success records a request that reached the server and got a definitive
 // answer (any status — even a 503 proves the host is up and talking).
 func (b *breaker) success(host string) {

@@ -88,10 +88,11 @@ func (e *ConflictError) Error() string {
 	return fmt.Sprintf("client: round conflict (server expects round %d): %s", e.Expected, e.Message)
 }
 
-// Client is a resilient handle on one isrl server. It is safe for concurrent
-// use; all configuration happens at construction.
+// Client is a resilient handle on an isrl deployment — one server, or a
+// primary/standby pair (NewMulti). It is safe for concurrent use; all
+// configuration happens at construction.
 type Client struct {
-	base     string
+	eps      []endpoint
 	hc       *http.Client
 	attempts int
 	perTry   time.Duration
@@ -107,10 +108,23 @@ type Client struct {
 	rmu sync.Mutex
 	rng *mrand.Rand
 
-	mRequests *obs.Counter
-	mAttempts *obs.Counter
-	mRetries  *obs.Counter
-	mFailures *obs.Counter
+	// preferred is the endpoint index new attempts start from; failover
+	// rotates it, a definitive response pins it. Guarded by emu.
+	emu       sync.Mutex
+	preferred int
+
+	mRequests  *obs.Counter
+	mAttempts  *obs.Counter
+	mRetries   *obs.Counter
+	mFailures  *obs.Counter
+	mFailovers *obs.Counter
+}
+
+// endpoint is one server base URL plus the host label its breaker state and
+// logs are keyed by.
+type endpoint struct {
+	base string
+	host string
 }
 
 // Option configures a Client.
@@ -187,8 +201,22 @@ func WithRegistry(r *obs.Registry) Option {
 
 // New builds a client for the server at base (e.g. "http://host:8080").
 func New(base string, opts ...Option) *Client {
+	return NewMulti([]string{base}, opts...)
+}
+
+// NewMulti builds a client that fails over across several equivalent
+// endpoints — typically [primary, standby]. Attempts start at the
+// preferred endpoint (initially the first); a connection error, 5xx or 429
+// rotates preference to the next one, and a definitive response pins it, so
+// after a failover all traffic converges on the promoted standby. Combined
+// with the server's stale-epoch and follower-catching-up 503s this makes a
+// primary crash invisible to Run loops: the deposed node sheds, the breaker
+// quarantines it, and retries land on the survivor.
+func NewMulti(bases []string, opts ...Option) *Client {
+	if len(bases) == 0 {
+		bases = []string{""}
+	}
 	c := &Client{
-		base:     base,
 		hc:       &http.Client{},
 		attempts: DefaultAttempts,
 		perTry:   DefaultPerTryTimeout,
@@ -199,6 +227,13 @@ func New(base string, opts ...Option) *Client {
 		reg:      obs.Default(),
 		rng:      mrand.New(mrand.NewSource(time.Now().UnixNano())),
 	}
+	for _, base := range bases {
+		host := base
+		if u, err := url.Parse(base); err == nil && u.Host != "" {
+			host = u.Host
+		}
+		c.eps = append(c.eps, endpoint{base: base, host: host})
+	}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -208,6 +243,7 @@ func New(base string, opts ...Option) *Client {
 	c.mAttempts = c.reg.Counter("client.attempts")
 	c.mRetries = c.reg.Counter("client.retries")
 	c.mFailures = c.reg.Counter("client.failures")
+	c.mFailovers = c.reg.Counter("client.endpoint_failovers")
 	return c
 }
 
@@ -224,10 +260,6 @@ type response struct {
 // 429 and every 5xx. Any other status returns to the caller.
 func (c *Client) do(ctx context.Context, method, path, sid string, hdr http.Header, body []byte) (*response, error) {
 	c.mRequests.Inc()
-	host := c.base
-	if u, err := url.Parse(c.base); err == nil && u.Host != "" {
-		host = u.Host
-	}
 	var lastErr error
 	for attempt := 0; attempt < c.attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -236,36 +268,42 @@ func (c *Client) do(ctx context.Context, method, path, sid string, hdr http.Head
 		if attempt > 0 {
 			c.mRetries.Inc()
 		}
-		if !c.br.allow(host, sid) {
+		ep, idx := c.pickEndpoint()
+		if !c.br.allow(ep.host, sid) {
 			// Fail-fast locally, but keep the attempt loop going: the
 			// breaker counts as a (cheap) failed attempt, and the backoff
 			// sleep gives the cooldown a chance to elapse into half-open.
-			lastErr = fmt.Errorf("%w (host %s)", ErrBreakerOpen, host)
+			lastErr = fmt.Errorf("%w (host %s)", ErrBreakerOpen, ep.host)
 			if err := c.sleep(ctx, c.backoff(attempt, 0)); err != nil {
 				return nil, err
 			}
 			continue
 		}
-		resp, retryable, err := c.attempt(ctx, method, path, hdr, body)
+		resp, retryable, err := c.attempt(ctx, method, ep.base, path, hdr, body)
 		c.mAttempts.Inc()
 		if err == nil && !retryable {
-			c.br.success(host)
+			c.br.success(ep.host)
+			c.pinEndpoint(idx)
 			return resp, nil
 		}
 		if err == nil {
 			// Shed response (429/5xx): the server is up and talking, which
-			// resets the breaker, but the call still backs off and retries,
-			// honoring Retry-After as a floor.
-			c.br.success(host)
+			// resets the breaker — but a shedding node (draining, follower
+			// catching up, or fenced after a failover) is exactly when the
+			// standby should get the next attempt, so rotate as well as
+			// back off, honoring Retry-After as a floor.
+			c.br.success(ep.host)
+			c.rotateEndpoint(idx, sid, fmt.Sprintf("status %d", resp.status))
 			lastErr = fmt.Errorf("client: server returned %d", resp.status)
 			if err := c.sleep(ctx, c.backoff(attempt, retryAfterHint(resp.header))); err != nil {
 				return nil, err
 			}
 			continue
 		}
-		c.br.failure(host, sid)
+		c.br.failure(ep.host, sid)
+		c.rotateEndpoint(idx, sid, "transport error")
 		lastErr = err
-		c.log.Debug("client attempt failed", "method", method, "path", path, "attempt", attempt+1, "err", err)
+		c.log.Debug("client attempt failed", "method", method, "path", path, "host", ep.host, "attempt", attempt+1, "err", err)
 		if err := c.sleep(ctx, c.backoff(attempt, 0)); err != nil {
 			return nil, err
 		}
@@ -274,10 +312,56 @@ func (c *Client) do(ctx context.Context, method, path, sid string, hdr http.Head
 	return nil, fmt.Errorf("%w after %d attempts: %v", ErrAttemptsExhausted, c.attempts, lastErr)
 }
 
+// pickEndpoint returns the endpoint the next attempt should hit: the first
+// one at or after the preferred index whose breaker is not in its open
+// cooldown. When every endpoint is quarantined it returns the preferred one
+// and lets allow() produce the breaker-open outcome.
+func (c *Client) pickEndpoint() (endpoint, int) {
+	c.emu.Lock()
+	start := c.preferred
+	c.emu.Unlock()
+	n := len(c.eps)
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		if !c.br.quarantined(c.eps[idx].host) {
+			return c.eps[idx], idx
+		}
+	}
+	return c.eps[start%n], start % n
+}
+
+// pinEndpoint makes idx the preferred endpoint after a definitive response.
+func (c *Client) pinEndpoint(idx int) {
+	c.emu.Lock()
+	c.preferred = idx
+	c.emu.Unlock()
+}
+
+// rotateEndpoint moves preference off a failing endpoint so the next
+// attempt starts at the other one. No-op with a single endpoint.
+func (c *Client) rotateEndpoint(idx int, sid, why string) {
+	if len(c.eps) < 2 {
+		return
+	}
+	c.emu.Lock()
+	rotated := false
+	if c.preferred == idx {
+		c.preferred = (idx + 1) % len(c.eps)
+		rotated = true
+	}
+	next := c.eps[c.preferred].host
+	c.emu.Unlock()
+	if rotated {
+		c.mFailovers.Inc()
+		c.log.Warn("client failing over to next endpoint",
+			"from", c.eps[idx].host, "to", next, "session", sid, "reason", why)
+	}
+}
+
 // attempt performs one wire attempt. It returns (resp, false, nil) on a
 // definitive response, (resp, true, nil) on a retryable status, and
 // (nil, _, err) on a transport or body-read failure.
-func (c *Client) attempt(ctx context.Context, method, path string, hdr http.Header, body []byte) (*response, bool, error) {
+func (c *Client) attempt(ctx context.Context, method, base, path string, hdr http.Header, body []byte) (*response, bool, error) {
 	// Chaos hook: lets the fault plans that exercise every other subsystem
 	// inject latency or transport errors into the SDK itself.
 	if err := fault.Hit(fault.PointClientReq); err != nil {
@@ -293,7 +377,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, hdr http.Head
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(actx, method, base+path, rd)
 	if err != nil {
 		return nil, false, err
 	}
@@ -351,19 +435,37 @@ func (c *Client) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// retryAfterHint parses an integer-seconds Retry-After header, returning 0
-// when absent or unparseable (HTTP-date form is ignored: this server never
-// sends it, and 0 just means "use the backoff schedule").
+// retryAfterHint parses a Retry-After header into a backoff floor,
+// accepting both RFC 9110 §10.2.3 forms: delta-seconds and HTTP-date.
 func retryAfterHint(h http.Header) time.Duration {
+	return retryAfterAt(h, time.Now())
+}
+
+// retryAfterAt is retryAfterHint against an injected clock, so the
+// HTTP-date arithmetic is testable. Absent, unparseable, negative or
+// already-past values all return 0 — "use the backoff schedule".
+func retryAfterAt(h http.Header, now time.Time) time.Duration {
 	v := h.Get("Retry-After")
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	// http.ParseTime tries the three date layouts RFC 9110 admits
+	// (IMF-fixdate, RFC 850, ANSI C asctime).
+	t, err := http.ParseTime(v)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	d := t.Sub(now)
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // newIdemKey mints a 128-bit idempotency key from crypto/rand. Never the

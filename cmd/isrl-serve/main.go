@@ -44,6 +44,7 @@ import (
 	"isrl/internal/fault"
 	"isrl/internal/geom"
 	"isrl/internal/obs"
+	"isrl/internal/repl"
 	"isrl/internal/rl"
 	"isrl/internal/server"
 	"isrl/internal/trace"
@@ -68,6 +69,9 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 0, "admission cap on live sessions; at capacity POST /sessions returns 429 (0 disables)")
 		answerQueue = flag.Int("answer-queue", server.DefaultAnswerQueue, "bounded answer-work queue size; excess requests shed with 503 (0 disables)")
 		shutGrace   = flag.Duration("shutdown-grace", 10*time.Second, "on SIGTERM, let in-flight sessions finish for up to this long before journaling expiry tombstones")
+		replTarget  = flag.String("replicate-to", "", "run as primary: stream the journal to the follower at host:port (requires -state-dir)")
+		followAddr  = flag.String("follow", "", "run as follower: listen for a primary's journal stream on this address (requires -state-dir)")
+		promAfter   = flag.Duration("promote-after", 10*time.Second, "follower only: promote to primary after this much stream silence (0 disables auto-promotion)")
 		faultSpec   = flag.String("fault", "", "fault-injection plan, e.g. 'lp.solve:err=0.01;geom.vertices:panic=0.001' (testing only)")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault-injection plan")
 		logLevel    = flag.String("log-level", "info", "debug, info, warn, error")
@@ -83,6 +87,13 @@ func main() {
 		fatalf("%v", err)
 	}
 	slog.SetDefault(logger)
+
+	if *replTarget != "" && *followAddr != "" {
+		fatalf("-replicate-to and -follow are mutually exclusive: a node is a primary or a follower, not both")
+	}
+	if (*replTarget != "" || *followAddr != "") && *stateDir == "" {
+		fatalf("replication ships the write-ahead journal; -replicate-to/-follow require -state-dir")
+	}
 
 	if *faultSpec != "" {
 		plan, err := fault.ParsePlan(*faultSpec, *faultSeed)
@@ -111,8 +122,9 @@ func main() {
 		server.WithMaxSessions(*maxSessions),
 		server.WithAnswerQueue(*answerQueue),
 	}
+	var tracer *trace.Tracer
 	if *traceSample > 0 {
-		tracer := trace.New(trace.Options{
+		tracer = trace.New(trace.Options{
 			SampleRate:    *traceSample,
 			SlowThreshold: *traceSlow,
 			BufferSize:    *traceBuffer,
@@ -131,11 +143,45 @@ func main() {
 		defer journal.Close()
 		srvOpts = append(srvOpts, server.WithJournal(journal))
 	}
+	var node *repl.Node
+	switch {
+	case *replTarget != "":
+		node = repl.NewPrimary(journal, *replTarget, repl.Options{
+			Seed: *seed, Logger: logger, Tracer: tracer,
+		})
+		srvOpts = append(srvOpts, server.WithReplication(node))
+		logger.Info("replication primary", "target", *replTarget, "epoch", journal.Epoch())
+	case *followAddr != "":
+		node, err = repl.NewFollower(journal, *followAddr, repl.Options{
+			Seed: *seed, Logger: logger, Tracer: tracer, PromoteAfter: *promAfter,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		srvOpts = append(srvOpts, server.WithReplication(node))
+		logger.Info("replication follower", "listen", node.Addr(),
+			"promote_after", *promAfter, "epoch", journal.Epoch())
+	}
 	srv := server.New(ds, *eps, factory, srvOpts...)
-	if journal != nil {
+	switch {
+	case node != nil && node.Role() == "follower":
+		// A follower keeps its journal warm but runs no live sessions (every
+		// session route sheds 503 until promotion); promotion rebuilds them
+		// from a consistent snapshot through the same recovery path a
+		// restart uses.
+		node.OnPromote(func(epoch uint64, states []wal.SessionState) {
+			n := srv.Recover(states)
+			logger.Warn("promoted to primary; serving", "epoch", epoch,
+				"journaled_sessions", len(states), "recovered", n)
+		})
+	case journal != nil:
 		n := srv.Recover(recoveredStates)
 		logger.Info("journal recovery complete", "dir", *stateDir,
 			"journaled_sessions", len(recoveredStates), "recovered", n)
+	}
+	if node != nil {
+		node.Start()
+		defer node.Close()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -41,6 +41,10 @@ const (
 	PointClientReq = "client.request" // client: one HTTP attempt leaving the SDK
 	PointLPWarm    = "lp.warm"        // internal/lp: one warm-start repair (push or re-optimize)
 	PointIncClip   = "geom.inc.clip"  // internal/geom: one incremental halfspace clip
+
+	PointReplSend      = "repl.send"      // internal/repl: one batch/snapshot frame leaving the primary
+	PointReplApply     = "repl.apply"     // internal/repl: one batch/snapshot applied on the follower
+	PointReplHeartbeat = "repl.heartbeat" // internal/repl: one heartbeat leaving the primary
 )
 
 // ErrInjected is the sentinel wrapped by every injected error; callers test

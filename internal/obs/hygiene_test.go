@@ -92,11 +92,11 @@ func TestMetricNameHygiene(t *testing.T) {
 	if files < 10 || len(kinds) < 30 {
 		t.Fatalf("audit scanned %d files and found %d metric names; the source scan looks broken", files, len(kinds))
 	}
-	// The resilience layers must stay instrumented: the client SDK and the
-	// netfault proxy each register at least one metric the scan can see, and
-	// the incremental geometry engine and warm LP solver keep their
-	// fallback/hit-rate counters observable.
-	for _, prefix := range []string{"client.", "netfault.", "geom.inc.", "lp.warm."} {
+	// The resilience layers must stay instrumented: the client SDK, the
+	// netfault proxy and the replication link each register at least one
+	// metric the scan can see, and the incremental geometry engine and warm
+	// LP solver keep their fallback/hit-rate counters observable.
+	for _, prefix := range []string{"client.", "netfault.", "geom.inc.", "lp.warm.", "repl."} {
 		found := false
 		for name := range kinds {
 			if strings.HasPrefix(name, prefix) {

@@ -1,0 +1,336 @@
+package repl
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"isrl/internal/fault"
+	"isrl/internal/trace"
+	"isrl/internal/wal"
+)
+
+// feedLoop drains the WAL subscription into the bounded tail ring. When the
+// subscription overflows (the log closes the channel rather than block its
+// append path), it resubscribes; the resulting gap is detected by LSN
+// discontinuity and collapses the ring, which later forces a snapshot
+// resync for any follower behind the gap.
+func (n *Node) feedLoop(ch <-chan wal.Entry, cancel func()) {
+	defer n.wg.Done()
+	for {
+		if done := n.drainSubscription(ch, cancel); done {
+			return
+		}
+		ch, cancel = n.log.Subscribe(n.opts.ringCap())
+	}
+}
+
+// drainSubscription consumes one subscription until it overflows (returns
+// false: resubscribe) or the node closes (returns true).
+func (n *Node) drainSubscription(ch <-chan wal.Entry, cancel func()) bool {
+	defer cancel()
+	for {
+		select {
+		case <-n.ctx.Done():
+			return true
+		case e, ok := <-ch:
+			if !ok {
+				n.opts.logger().Warn("repl: subscription overflowed; tail ring will resync")
+				return false
+			}
+			n.feedEntry(e)
+		}
+	}
+}
+
+// feedEntry appends one committed entry to the tail ring, keeping the ring
+// a run of consecutive LSNs over (floor, floor+len]. Duplicates are
+// skipped; a gap (entries lost to a subscription overflow) restarts the
+// ring at the new entry, stranding any follower behind it on the snapshot
+// path.
+func (n *Node) feedEntry(e wal.Entry) {
+	n.mu.Lock()
+	next := n.floor + int64(len(n.ring)) + 1
+	switch {
+	case e.LSN < next:
+		n.mu.Unlock()
+		return
+	case e.LSN > next:
+		n.ring = n.ring[:0]
+		n.floor = e.LSN - 1
+	}
+	n.ring = append(n.ring, e)
+	if len(n.ring) > n.opts.ringCap() {
+		trim := len(n.ring) - n.opts.ringCap()
+		n.ring = append(n.ring[:0], n.ring[trim:]...)
+		n.floor += int64(trim)
+	}
+	n.mu.Unlock()
+	select {
+	case n.notify <- struct{}{}:
+	default:
+	}
+}
+
+// takeBatch returns up to BatchMax entries with LSN > after. ok=false means
+// the position fell off the ring (compacted past, or a feed gap): the
+// caller must push a snapshot instead.
+func (n *Node) takeBatch(after int64) ([]wal.Entry, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if after < n.floor {
+		return nil, false
+	}
+	i := after - n.floor
+	if i >= int64(len(n.ring)) {
+		return nil, true
+	}
+	end := i + int64(n.opts.batchMax())
+	if end > int64(len(n.ring)) {
+		end = int64(len(n.ring))
+	}
+	batch := make([]wal.Entry, end-i)
+	copy(batch, n.ring[i:end])
+	return batch, true
+}
+
+// shipLoop dials the follower and streams until the node closes or the
+// follower announces a higher epoch (this node is deposed: fence and stop
+// for good). Every other failure — refused dial, broken pipe, a follower
+// that fell off the tail ring — redials with backoff and resumes or
+// resyncs.
+func (n *Node) shipLoop() {
+	defer n.wg.Done()
+	backoff := n.opts.redialBackoff()
+	for n.ctx.Err() == nil {
+		conn, err := net.DialTimeout("tcp", n.target, n.opts.dialTimeout())
+		if err != nil {
+			mReconnects.Inc()
+			n.bumpReconnects()
+			if !n.sleep(backoff) {
+				return
+			}
+			continue
+		}
+		err = n.stream(conn)
+		conn.Close()
+		switch {
+		case errors.Is(err, errDeposed):
+			// The log was fenced inside stream; appends now fail with
+			// wal.ErrStaleEpoch and there is nothing left to ship.
+			n.opts.logger().Warn("repl: deposed by follower with higher epoch; replication stopped",
+				"fenced", n.log.Fenced())
+			return
+		case err != nil && n.ctx.Err() == nil:
+			mReconnects.Inc()
+			mSendErrors.Inc()
+			n.bumpReconnects()
+			n.opts.logger().Warn("repl: stream broken; redialing", "err", err)
+		}
+		if !n.sleep(backoff) {
+			return
+		}
+	}
+}
+
+func (n *Node) bumpReconnects() {
+	n.mu.Lock()
+	n.stats.Reconnects++
+	n.mu.Unlock()
+}
+
+func (n *Node) sleep(d time.Duration) bool {
+	select {
+	case <-n.ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// stream runs one connection: handshake, optional snapshot resync, then the
+// tail loop shipping batches and heartbeats while a reader goroutine folds
+// in acks. Returns errDeposed when the follower fences us.
+func (n *Node) stream(conn net.Conn) error {
+	hbInterval := n.opts.heartbeat()
+	ioDeadline := 4 * hbInterval
+
+	if err := writeMsg(conn, msg{T: "hello", Epoch: n.log.Epoch(), SID: n.sid}, ioDeadline); err != nil {
+		return err
+	}
+	w, err := readMsg(conn, ioDeadline)
+	if err != nil {
+		return err
+	}
+	switch w.T {
+	case "deny":
+		n.log.Fence(w.Epoch)
+		return errDeposed
+	case "welcome":
+		if w.Epoch > n.log.Epoch() {
+			n.log.Fence(w.Epoch)
+			return errDeposed
+		}
+	default:
+		return errors.New("repl: unexpected handshake reply " + w.T)
+	}
+
+	// A follower resuming at LSN 0 against a log that recovered sessions at
+	// boot can never receive those sessions from the tail stream (they
+	// predate the in-memory LSN counter), so force the snapshot path.
+	sent := w.LSN
+	if _, ok := n.takeBatch(sent); !ok || (sent == 0 && n.log.HasBootState()) {
+		pos, err := n.snapshot(conn, ioDeadline)
+		if err != nil {
+			return err
+		}
+		sent = pos.LSN
+	}
+
+	// Reader: acks move the lag gauges; a deny mid-stream means a promoted
+	// follower — fence and kill the connection so the writer unblocks.
+	readerErr := make(chan error, 1)
+	go func() {
+		for {
+			m, err := readMsg(conn, 10*ioDeadline)
+			if err != nil {
+				readerErr <- err
+				return
+			}
+			switch m.T {
+			case "ack":
+				n.mu.Lock()
+				if m.LSN > n.ackLSN {
+					n.ackLSN = m.LSN
+				}
+				ack := n.ackLSN
+				n.mu.Unlock()
+				pos := n.log.Pos()
+				if lag := pos.LSN - ack; lag >= 0 {
+					mLagRecords.Set(lag)
+				}
+			case "deny":
+				n.log.Fence(m.Epoch)
+				readerErr <- errDeposed
+				return
+			}
+		}
+	}()
+
+	hb := time.NewTimer(hbInterval)
+	defer hb.Stop()
+	var batchSeq int64
+	for {
+		select {
+		case err := <-readerErr:
+			return err
+		case <-n.ctx.Done():
+			return nil
+		default:
+		}
+		batch, ok := n.takeBatch(sent)
+		if !ok {
+			return errResync
+		}
+		if len(batch) > 0 {
+			if err := n.shipBatch(conn, batch, ioDeadline, batchSeq); err != nil {
+				return err
+			}
+			sent = batch[len(batch)-1].LSN
+			batchSeq++
+			if !hb.Stop() {
+				select {
+				case <-hb.C:
+				default:
+				}
+			}
+			hb.Reset(hbInterval)
+			continue
+		}
+		select {
+		case err := <-readerErr:
+			return err
+		case <-n.ctx.Done():
+			return nil
+		case <-n.notify:
+		case <-hb.C:
+			hb.Reset(hbInterval)
+			if err := fault.Hit(fault.PointReplHeartbeat); err != nil {
+				mSendErrors.Inc()
+				return err
+			}
+			pos := n.log.Pos()
+			if err := writeMsg(conn, msg{T: "hb", Epoch: n.log.Epoch(), LSN: pos.LSN, Bytes: pos.Bytes}, ioDeadline); err != nil {
+				return err
+			}
+			mHBSent.Inc()
+			n.mu.Lock()
+			n.stats.HeartbeatsSent++
+			n.mu.Unlock()
+		}
+	}
+}
+
+// shipBatch sends one batch frame, traced when sampling selects it.
+func (n *Node) shipBatch(conn net.Conn, batch []wal.Entry, deadline time.Duration, seq int64) error {
+	if err := fault.Hit(fault.PointReplSend); err != nil {
+		mSendErrors.Inc()
+		return err
+	}
+	var sp *trace.Span
+	var tr *trace.Trace
+	if t := n.opts.Tracer; t != nil && t.Sampled(n.opts.Seed+seq) {
+		tr, sp = t.StartTrace("repl.ship", trace.TraceID{}, n.opts.Seed+seq)
+	}
+	last := batch[len(batch)-1]
+	m := msg{T: "batch", Epoch: n.log.Epoch(), LSN: last.LSN, Bytes: last.Bytes, Entries: batch}
+	err := writeMsg(conn, m, deadline)
+	if sp != nil {
+		sp.SetInt("records", int64(len(batch)))
+		sp.SetInt("lsn", last.LSN)
+		sp.SetBool("error", err != nil)
+		sp.End()
+		tr.Finish()
+	}
+	if err != nil {
+		return err
+	}
+	mBatchesSent.Inc()
+	mRecordsSent.Add(int64(len(batch)))
+	mBytesSent.Add(last.Bytes - batch[0].Bytes + 1)
+	n.mu.Lock()
+	n.stats.BatchesSent++
+	n.stats.RecordsSent += int64(len(batch))
+	n.mu.Unlock()
+	return nil
+}
+
+// snapshot pushes the full session state in chunks, ending with a snapend
+// frame carrying the position the snapshot is consistent with. The tail
+// loop resumes from that position.
+func (n *Node) snapshot(conn net.Conn, deadline time.Duration) (wal.Position, error) {
+	if err := fault.Hit(fault.PointReplSend); err != nil {
+		mSendErrors.Inc()
+		return wal.Position{}, err
+	}
+	states, pos, epoch := n.log.ReplSnapshot()
+	chunk := n.opts.snapshotChunk()
+	for i := 0; i < len(states); i += chunk {
+		end := i + chunk
+		if end > len(states) {
+			end = len(states)
+		}
+		if err := writeMsg(conn, msg{T: "snap", Epoch: epoch, States: states[i:end]}, deadline); err != nil {
+			return wal.Position{}, err
+		}
+	}
+	if err := writeMsg(conn, msg{T: "snapend", Epoch: epoch, LSN: pos.LSN, Bytes: pos.Bytes}, deadline); err != nil {
+		return wal.Position{}, err
+	}
+	mSnapsSent.Inc()
+	n.mu.Lock()
+	n.stats.SnapshotsSent++
+	n.mu.Unlock()
+	n.opts.logger().Info("repl: pushed snapshot", "sessions", len(states), "lsn", pos.LSN)
+	return pos, nil
+}

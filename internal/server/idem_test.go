@@ -142,6 +142,9 @@ func TestCreateIdempotencyKeyReplays(t *testing.T) {
 		srv.ServeHTTP(rec, req)
 		return rec
 	}
+	// The counter lives in the process-global default registry, so assert
+	// the delta this test produces rather than an absolute value.
+	baseReplays := srv.idemReplay.Value()
 	first := post("k1")
 	if first.Code != http.StatusCreated {
 		t.Fatalf("create status %d", first.Code)
@@ -164,8 +167,8 @@ func TestCreateIdempotencyKeyReplays(t *testing.T) {
 	if st1.ID != st2.ID {
 		t.Errorf("replayed create returned session %q, want %q", st2.ID, st1.ID)
 	}
-	if srv.idemReplay.Value() != 1 {
-		t.Errorf("sessions.idem_replays = %d, want 1", srv.idemReplay.Value())
+	if got := srv.idemReplay.Value() - baseReplays; got != 1 {
+		t.Errorf("sessions.idem_replays grew by %d, want 1", got)
 	}
 	if other := post("k2"); other.Code != http.StatusCreated {
 		t.Errorf("distinct key status %d, want 201", other.Code)
@@ -293,6 +296,7 @@ func TestDrainGraceExpiryTombstones(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := New(ds, 0.1, seededFactory(), WithJournal(j), WithSessionSeed(9))
+	baseKills := srv.drainKill.Value() // global default registry; assert the delta
 	rec, state := doJSON(t, srv, http.MethodPost, "/sessions", nil)
 	if rec.Code != http.StatusCreated {
 		t.Fatalf("create status %d", rec.Code)
@@ -300,8 +304,8 @@ func TestDrainGraceExpiryTombstones(t *testing.T) {
 	if n := srv.Drain(30 * time.Millisecond); n != 1 {
 		t.Fatalf("Drain force-expired %d sessions, want 1", n)
 	}
-	if srv.drainKill.Value() != 1 {
-		t.Errorf("sessions.drain_expired = %d, want 1", srv.drainKill.Value())
+	if got := srv.drainKill.Value() - baseKills; got != 1 {
+		t.Errorf("sessions.drain_expired grew by %d, want 1", got)
 	}
 	j.Close()
 

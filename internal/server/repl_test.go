@@ -1,0 +1,123 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeRepl is a canned Replication view so the gate can be tested without a
+// live replication link.
+type fakeRepl struct {
+	role   string
+	epoch  uint64
+	fenced bool
+	lagR   int64
+	lagB   int64
+}
+
+func (f *fakeRepl) Role() string        { return f.role }
+func (f *fakeRepl) Epoch() uint64       { return f.epoch }
+func (f *fakeRepl) Fenced() bool        { return f.fenced }
+func (f *fakeRepl) Lag() (int64, int64) { return f.lagR, f.lagB }
+
+// TestReplGateFollowerShedsSessions pins the follower contract: every
+// session route — including GET, whose 404 a client would treat as
+// definitive — answers 503 with Retry-After, while health and metrics stay
+// reachable for probes.
+func TestReplGateFollowerShedsSessions(t *testing.T) {
+	srv, _ := testServer(t)
+	WithReplication(&fakeRepl{role: "follower", epoch: 0, lagR: 7})(srv)
+
+	for _, c := range []struct{ method, path string }{
+		{http.MethodPost, "/sessions"},
+		{http.MethodGet, "/sessions/abc"},
+		{http.MethodDelete, "/sessions/abc"},
+		{http.MethodPost, "/sessions/abc/answer"},
+	} {
+		rec, _ := doJSON(t, srv, c.method, c.path, nil)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s %s on follower: status %d, want 503", c.method, c.path, rec.Code)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Errorf("%s %s on follower: no Retry-After header", c.method, c.path)
+		}
+		if !strings.Contains(rec.Body.String(), "follower catching up") {
+			t.Errorf("%s %s on follower: body %q lacks catching-up hint", c.method, c.path, rec.Body.String())
+		}
+	}
+	rec, _ := doJSON(t, srv, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz on follower: status %d, want 200", rec.Code)
+	}
+}
+
+// TestReplGateFencedPrimaryRejects pins the split-brain guard: a deposed
+// primary sheds mutations with a stale-epoch 503 and reports itself
+// degraded on the health probe.
+func TestReplGateFencedPrimaryRejects(t *testing.T) {
+	srv, _ := testServer(t)
+	WithReplication(&fakeRepl{role: "primary", epoch: 3, fenced: true})(srv)
+
+	rec, _ := doJSON(t, srv, http.MethodPost, "/sessions", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("create on fenced primary: status %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "stale epoch") {
+		t.Errorf("fenced rejection body %q lacks stale-epoch hint", rec.Body.String())
+	}
+
+	health := healthPayload(t, srv)
+	if health["status"] != "degraded" {
+		t.Errorf("fenced primary healthz status %v, want degraded", health["status"])
+	}
+	rep := health["replication"].(map[string]any)
+	if rep["fenced"] != true || rep["epoch"] != float64(3) {
+		t.Errorf("fenced primary replication block = %v", rep)
+	}
+}
+
+// TestHealthzReplicationBlock pins the three healthz shapes: solo (no
+// replication configured), an unfenced primary, and a catching-up follower
+// with its lag gauges.
+func TestHealthzReplicationBlock(t *testing.T) {
+	srv, _ := testServer(t)
+	health := healthPayload(t, srv)
+	if rep := health["replication"].(map[string]any); rep["role"] != "solo" {
+		t.Errorf("standalone node replication block = %v, want role solo", rep)
+	}
+
+	WithReplication(&fakeRepl{role: "primary", epoch: 2, lagR: 1, lagB: 64})(srv)
+	health = healthPayload(t, srv)
+	rep := health["replication"].(map[string]any)
+	if rep["role"] != "primary" || rep["epoch"] != float64(2) || rep["fenced"] != false {
+		t.Errorf("primary replication block = %v", rep)
+	}
+	if rep["lag_records"] != float64(1) || rep["lag_bytes"] != float64(64) {
+		t.Errorf("primary lag gauges = %v", rep)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("healthy primary status %v, want ok", health["status"])
+	}
+	// An unfenced primary serves sessions normally.
+	if rec, _ := doJSON(t, srv, http.MethodPost, "/sessions", nil); rec.Code != http.StatusCreated {
+		t.Errorf("create on healthy primary: status %d, want 201", rec.Code)
+	}
+}
+
+func healthPayload(t *testing.T, srv *Server) map[string]any {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d: %s", rec.Code, rec.Body.String())
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

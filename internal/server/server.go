@@ -188,6 +188,26 @@ type Server struct {
 	dupRounds  *obs.Counter
 	roundConf  *obs.Counter
 	drainKill  *obs.Counter
+	staleRej   *obs.Counter
+	followRej  *obs.Counter
+
+	repl Replication // nil: standalone node
+}
+
+// Replication is the narrow view of a replication node (internal/repl.Node)
+// the server needs: it gates session mutations on a deposed or catching-up
+// node and feeds the /healthz replication block. The server deliberately
+// does not import internal/repl — wiring happens in cmd/isrl-serve.
+type Replication interface {
+	// Role returns "primary" or "follower" (a promoted follower is "primary").
+	Role() string
+	// Epoch is the durable failover epoch.
+	Epoch() uint64
+	// Fenced reports a deposed primary: a higher epoch exists and every
+	// journal append fails with a stale-epoch error.
+	Fenced() bool
+	// Lag is how far the passive side trails, in records and bytes.
+	Lag() (records, bytes int64)
 }
 
 // Option configures a Server.
@@ -275,6 +295,15 @@ func WithTracer(t *trace.Tracer) Option {
 	return func(s *Server) { s.tracer = t }
 }
 
+// WithReplication attaches the replication node's status view: session
+// routes answer 503 + Retry-After while this node is a follower still
+// catching up, or permanently once it is fenced as a deposed primary, and
+// /healthz reports role/epoch/lag. Nil (the default) means a standalone
+// node ("solo" in /healthz).
+func WithReplication(r Replication) Option {
+	return func(s *Server) { s.repl = r }
+}
+
 // New builds a server for the given (already skyline-preprocessed) dataset
 // and regret threshold.
 func New(ds *dataset.Dataset, eps float64, factory AlgorithmFactory, opts ...Option) *Server {
@@ -319,6 +348,8 @@ func New(ds *dataset.Dataset, eps float64, factory AlgorithmFactory, opts ...Opt
 	s.dupRounds = s.reg.Counter("sessions.duplicate_rounds")
 	s.roundConf = s.reg.Counter("sessions.round_conflicts")
 	s.drainKill = s.reg.Counter("sessions.drain_expired")
+	s.staleRej = s.reg.Counter("server.stale_epoch_rejected")
+	s.followRej = s.reg.Counter("server.follower_rejected")
 	return s
 }
 
@@ -548,6 +579,9 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 			s.methodNotAllowed(w, r, http.MethodPost)
 			return "create_session"
 		}
+		if !s.replGate(w) {
+			return "create_session"
+		}
 		if !s.acquireWork(w) {
 			return "create_session"
 		}
@@ -557,6 +591,9 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 	case len(parts) == 2 && parts[0] == "sessions":
 		switch r.Method {
 		case http.MethodGet:
+			if !s.replGate(w) {
+				return "get_session"
+			}
 			if !s.acquireWork(w) {
 				return "get_session"
 			}
@@ -564,6 +601,9 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 			s.releaseWork()
 			return "get_session"
 		case http.MethodDelete:
+			if !s.replGate(w) {
+				return "delete_session"
+			}
 			s.abort(w, parts[1])
 			return "delete_session"
 		default:
@@ -573,6 +613,9 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 	case len(parts) == 3 && parts[0] == "sessions" && parts[2] == "answer":
 		if r.Method != http.MethodPost {
 			s.methodNotAllowed(w, r, http.MethodPost)
+			return "answer"
+		}
+		if !s.replGate(w) {
 			return "answer"
 		}
 		if !s.acquireWork(w) {
@@ -585,6 +628,33 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 		s.httpError(w, http.StatusNotFound, "no route for %s %s", r.Method, r.URL.Path)
 		return "other"
 	}
+}
+
+// replGate rejects session traffic this node must not serve: a fenced
+// (deposed) primary would split-brain on any mutation, and a follower has
+// no live sessions yet — even GETs answer 503 so a failover-aware client
+// rotates to the other endpoint instead of treating a 404 as definitive.
+// Health and metrics routes bypass the gate.
+func (s *Server) replGate(w http.ResponseWriter) bool {
+	if s.repl == nil {
+		return true
+	}
+	if s.repl.Fenced() {
+		s.staleRej.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter()))
+		s.httpError(w, http.StatusServiceUnavailable,
+			"stale epoch: this node was deposed (epoch %d); retry against the new primary", s.repl.Epoch())
+		return false
+	}
+	if s.repl.Role() == "follower" {
+		records, _ := s.repl.Lag()
+		s.followRej.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter()))
+		s.httpError(w, http.StatusServiceUnavailable,
+			"follower catching up (lag %d records); retry against the primary", records)
+		return false
+	}
+	return true
 }
 
 // methodNotAllowed writes a 405 with the RFC 9110-required Allow header.
@@ -619,6 +689,24 @@ func (s *Server) healthz(w http.ResponseWriter) {
 			payload["status"] = "degraded"
 		}
 		payload["journal"] = j
+	}
+	if s.repl == nil {
+		payload["replication"] = map[string]any{"role": "solo"}
+	} else {
+		records, bytes := s.repl.Lag()
+		rep := map[string]any{
+			"role":        s.repl.Role(),
+			"epoch":       s.repl.Epoch(),
+			"fenced":      s.repl.Fenced(),
+			"lag_records": records,
+			"lag_bytes":   bytes,
+		}
+		if s.repl.Fenced() {
+			// A deposed primary still answers probes but cannot commit; that
+			// is a degraded node an operator must re-seed.
+			payload["status"] = "degraded"
+		}
+		payload["replication"] = rep
 	}
 	// Probes and scrapers must always see fresh state, never a cached copy.
 	w.Header().Set("Cache-Control", "no-store")

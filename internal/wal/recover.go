@@ -68,6 +68,7 @@ func (l *Log) recover() error {
 			l.dead++
 		}
 	}
+	l.boot = len(l.sessions) > 0
 	return l.openSegment(seqs[len(seqs)-1])
 }
 
@@ -136,6 +137,7 @@ type RecordInfo struct {
 	Prefer  bool
 	Reason  string
 	IdemKey string
+	Epoch   uint64
 }
 
 // Records scans every segment in dir in sequence order and returns the raw
@@ -160,6 +162,7 @@ func Records(dir string) ([]RecordInfo, error) {
 			out = append(out, RecordInfo{
 				Kind: rec.Kind, ID: rec.ID, Round: rec.Round,
 				Prefer: rec.Prefer, Reason: rec.Reason, IdemKey: rec.IK,
+				Epoch: rec.Epoch,
 			})
 		})
 		if err != nil {
@@ -201,6 +204,12 @@ func (l *Log) applyRecord(rec record) {
 			return
 		}
 		st.Finished, st.Reason = true, rec.Reason
+	case KindControl:
+		// Failover epoch: adopt the highest seen. Not an orphan — control
+		// records carry no session id by design.
+		if rec.Epoch > l.epoch {
+			l.epoch = rec.Epoch
+		}
 	default:
 		mOrphanRecords.Inc()
 	}

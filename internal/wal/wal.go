@@ -22,6 +22,20 @@
 // internal/fault points (wal.write / wal.sync / wal.rename, including
 // torn-write truncation), so chaos tests can kill and recover a server
 // under injected disk failure.
+//
+// Replication (internal/repl) builds on three additions. Every append is
+// assigned an in-memory log sequence number and published to Subscribe
+// channels as an Entry, so a primary can tail its own journal without
+// re-reading segment files; ReplSnapshot returns the full session mirror
+// plus the position it is consistent with, the catch-up path for a
+// follower that is too far behind the tail. A follower folds shipped
+// state in with ApplyEntries/ApplySnapshot, which are idempotent (creates
+// for known ids and answers at already-applied rounds are skipped), so
+// at-least-once shipping yields exactly-once state. Finally, a fourth
+// record kind — control {epoch} — persists the failover epoch: SetEpoch
+// journals a bump at promotion, and Fence rejects every later append with
+// ErrStaleEpoch once the node learns a higher epoch exists, which is what
+// keeps a deposed primary from committing writes nobody will replicate.
 package wal
 
 import (
@@ -31,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -47,9 +62,10 @@ type Kind uint8
 
 // Record kinds. Values are stable on-disk identifiers; never renumber.
 const (
-	KindCreate Kind = 1
-	KindAnswer Kind = 2
-	KindFinish Kind = 3
+	KindCreate  Kind = 1
+	KindAnswer  Kind = 2
+	KindFinish  Kind = 3
+	KindControl Kind = 4 // replication control: persisted failover epoch
 )
 
 // Finish reasons written with KindFinish tombstones.
@@ -71,6 +87,7 @@ type record struct {
 	Prefer bool    `json:"a,omitempty"`   // answer payload
 	Reason string  `json:"why,omitempty"` // finish payload
 	IK     string  `json:"ik,omitempty"`  // Idempotency-Key the create carried
+	Epoch  uint64  `json:"ep,omitempty"`  // control payload: failover epoch
 }
 
 // SessionState is one session reconstructed from (or about to enter) the
@@ -149,7 +166,49 @@ type Log struct {
 	sticky   error                    // first write/sync failure; surfaces on /healthz
 	fsyncErr int64                    // count of fsync failures on this Log
 	closed   bool
+
+	// Replication state. lsn/cumBytes are in-memory positions (they reset
+	// every process start; followers resync with a snapshot, which is safe
+	// because apply is idempotent). epoch is durable via control records;
+	// fencedBy, when above epoch, rejects every append with ErrStaleEpoch.
+	lsn      int64
+	cumBytes int64
+	epoch    uint64
+	fencedBy uint64
+	boot     bool // sessions existed at Open: state invisible to the LSN stream
+	subs     map[*subscriber]struct{}
 }
+
+// subscriber is one live Subscribe channel.
+type subscriber struct{ ch chan Entry }
+
+// ErrStaleEpoch is returned by appends on a fenced log: the node learned a
+// higher failover epoch exists, so committing here would split-brain the
+// session state. Mutations must be redirected to the current primary.
+var ErrStaleEpoch = errors.New("wal: stale epoch (node deposed)")
+
+// Entry is one journal append in replication form: the record plus the
+// in-memory position it was assigned. Positions order the tail stream and
+// size the replication lag; they are not persisted on disk.
+type Entry struct {
+	LSN    int64   `json:"lsn"`
+	Bytes  int64   `json:"b"` // cumulative appended frame bytes at this entry
+	Kind   Kind    `json:"k"`
+	ID     string  `json:"id,omitempty"`
+	Algo   string  `json:"algo,omitempty"`
+	Eps    float64 `json:"eps,omitempty"`
+	Seed   int64   `json:"seed,omitempty"`
+	FP     uint64  `json:"fp,omitempty"`
+	Round  int     `json:"n,omitempty"`
+	Prefer bool    `json:"a,omitempty"`
+	Reason string  `json:"why,omitempty"`
+	IK     string  `json:"ik,omitempty"`
+	Epoch  uint64  `json:"ep,omitempty"`
+}
+
+// Position is a replication stream offset: how many records the log has
+// appended this process lifetime and how many framed bytes they cover.
+type Position struct{ LSN, Bytes int64 }
 
 // segName renders the file name of segment seq.
 func segName(seq int) string { return fmt.Sprintf("wal-%08d.log", seq) }
@@ -185,6 +244,11 @@ func Open(dir string, opts Options) (*Log, []SessionState, error) {
 func (l *Log) snapshotStates() []SessionState {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.snapshotStatesLocked()
+}
+
+// snapshotStatesLocked is snapshotStates for callers already holding l.mu.
+func (l *Log) snapshotStatesLocked() []SessionState {
 	out := make([]SessionState, 0, len(l.sessions))
 	for _, st := range l.sessions {
 		cp := *st
@@ -312,6 +376,12 @@ func (l *Log) AppendFinishCtx(ctx context.Context, id, reason string) error {
 // rotating first when the segment is full. Callers hold l.mu. The whole
 // commit is timed as a "wal.append" span when ctx carries an active trace.
 func (l *Log) append(ctx context.Context, rec record) error {
+	return l.appendLocked(ctx, rec, true)
+}
+
+// appendLocked is append with the fsync made optional, so batched replica
+// application can commit many records under one fsync. Callers hold l.mu.
+func (l *Log) appendLocked(ctx context.Context, rec record, sync bool) error {
 	sp := trace.StartLeaf(ctx, "wal.append")
 	if sp != nil {
 		sp.SetInt("kind", int64(rec.Kind))
@@ -319,6 +389,9 @@ func (l *Log) append(ctx context.Context, rec record) error {
 	}
 	if l.closed {
 		return errors.New("wal: log closed")
+	}
+	if l.fencedBy > l.epoch {
+		return fmt.Errorf("%w: fenced at epoch %d, local epoch %d", ErrStaleEpoch, l.fencedBy, l.epoch)
 	}
 	if l.active == nil {
 		// A failed compaction left no active segment; reopen before appending.
@@ -345,12 +418,143 @@ func (l *Log) append(ctx context.Context, rec record) error {
 		return err
 	}
 	mAppends.Inc()
+	l.lsn++
+	l.cumBytes += int64(len(frame))
+	l.publishLocked(rec)
+	if !sync {
+		return nil
+	}
 	if err := l.syncActive(ctx); err != nil {
 		// The record reached the OS but not necessarily the platter. Keep
 		// serving (the in-memory session is fine) but surface the hazard.
 		return nil
 	}
 	return nil
+}
+
+// publishLocked fans the freshly appended record out to every subscriber.
+// A subscriber whose channel is full is dropped and its channel closed —
+// the closed channel tells the replication sender it fell off the tail and
+// must resynchronize from a snapshot. Callers hold l.mu.
+func (l *Log) publishLocked(rec record) {
+	if len(l.subs) == 0 {
+		return
+	}
+	e := Entry{
+		LSN: l.lsn, Bytes: l.cumBytes, Kind: rec.Kind, ID: rec.ID,
+		Algo: rec.Algo, Eps: rec.Eps, Seed: rec.Seed, FP: rec.FP,
+		Round: rec.Round, Prefer: rec.Prefer, Reason: rec.Reason,
+		IK: rec.IK, Epoch: rec.Epoch,
+	}
+	for s := range l.subs {
+		select {
+		case s.ch <- e:
+		default:
+			delete(l.subs, s)
+			close(s.ch)
+		}
+	}
+}
+
+// Subscribe returns a channel of every append from now on, in commit order,
+// plus a cancel function. When the subscriber falls more than buf entries
+// behind, the channel is closed instead of blocking the append path: the
+// consumer must then resynchronize (ReplSnapshot) and re-subscribe.
+func (l *Log) Subscribe(buf int) (<-chan Entry, func()) {
+	if buf <= 0 {
+		buf = 1024
+	}
+	s := &subscriber{ch: make(chan Entry, buf)}
+	l.mu.Lock()
+	if l.subs == nil {
+		l.subs = make(map[*subscriber]struct{})
+	}
+	l.subs[s] = struct{}{}
+	l.mu.Unlock()
+	cancel := func() {
+		l.mu.Lock()
+		if _, ok := l.subs[s]; ok {
+			delete(l.subs, s)
+			close(s.ch)
+		}
+		l.mu.Unlock()
+	}
+	return s.ch, cancel
+}
+
+// HasBootState reports whether this log recovered any sessions at Open.
+// Such state predates the in-memory LSN counter, so it can never arrive at
+// a follower through the entry stream — a replication sender whose peer
+// resumes at LSN 0 must push a snapshot first when this is true.
+func (l *Log) HasBootState() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.boot
+}
+
+// Pos returns the log's current replication position.
+func (l *Log) Pos() Position {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Position{LSN: l.lsn, Bytes: l.cumBytes}
+}
+
+// Epoch returns the durable failover epoch (0 until a control record is
+// journaled).
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// SetEpoch journals a control record raising the failover epoch to e. It is
+// a no-op when e is not above the current epoch. Raising the epoch clears
+// any fence at or below it — the promotion path: the new primary must be
+// able to append.
+func (l *Log) SetEpoch(e uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e <= l.epoch {
+		return nil
+	}
+	if l.fencedBy > e {
+		return fmt.Errorf("%w: cannot adopt epoch %d below fence %d", ErrStaleEpoch, e, l.fencedBy)
+	}
+	l.fencedBy = 0 // adopting e supersedes any fence at or below it
+	if err := l.append(context.Background(), record{Kind: KindControl, Epoch: e}); err != nil {
+		return err
+	}
+	l.epoch = e
+	return nil
+}
+
+// Fence rejects every subsequent append with ErrStaleEpoch: the node
+// learned that epoch e (above its own) exists, so it has been deposed and
+// must not commit session state anymore. Fencing at or below the current
+// epoch is a no-op.
+func (l *Log) Fence(e uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e > l.epoch && e > l.fencedBy {
+		l.fencedBy = e
+	}
+}
+
+// Fenced reports whether appends are currently rejected with ErrStaleEpoch.
+func (l *Log) Fenced() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fencedBy > l.epoch
+}
+
+// ReplSnapshot returns a deep copy of every session (tombstoned included)
+// plus the position and epoch the copy is consistent with: entries with
+// LSN above the returned position are exactly the appends not reflected in
+// the states.
+func (l *Log) ReplSnapshot() ([]SessionState, Position, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshotStatesLocked(), Position{LSN: l.lsn, Bytes: l.cumBytes}, l.epoch
 }
 
 // writeFrame writes one frame through the wal.write fault point. A torn
@@ -401,14 +605,198 @@ func encodeFrame(rec record) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: encode record: %w", err)
 	}
-	if len(payload) > maxRecordBytes {
-		return nil, fmt.Errorf("wal: record too large (%d bytes)", len(payload))
+	return Frame(payload, maxRecordBytes)
+}
+
+// Frame wraps payload in the journal's framing — uint32 length + uint32
+// CRC32(payload), little endian — the exact layout segments use on disk.
+// Exported so the replication wire protocol (internal/repl) ships messages
+// under the same checksummed framing. max bounds the payload (0: no bound).
+func Frame(payload []byte, max int) ([]byte, error) {
+	if max > 0 && len(payload) > max {
+		return nil, fmt.Errorf("wal: frame payload too large (%d bytes, max %d)", len(payload), max)
 	}
 	frame := make([]byte, frameHeaderLen+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
 	copy(frame[frameHeaderLen:], payload)
 	return frame, nil
+}
+
+// ReadFrame reads one length+CRC32 frame from r and returns its payload.
+// io.EOF surfaces untouched on a clean boundary; a frame longer than max
+// (when max > 0) or failing its checksum is an error — over a network
+// stream corruption must fail loudly, not truncate silently like the
+// on-disk tail scan does.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	hdr := make([]byte, frameHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("wal: torn frame header: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if max > 0 && int64(n) > int64(max) {
+		return nil, fmt.Errorf("wal: frame of %d bytes exceeds limit %d", n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wal: torn frame payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, errors.New("wal: frame checksum mismatch")
+	}
+	return payload, nil
+}
+
+// ApplyEntries folds shipped journal entries into this (follower) log:
+// each entry is deduplicated against the session mirror, appended to the
+// local journal, and the whole batch is committed under a single fsync.
+// Application is idempotent — creates for known ids, answers at rounds
+// already applied and repeated tombstones are skipped — so an at-least-once
+// shipping protocol still yields exactly-once state. A gap (an answer
+// beyond the next expected round, or an answer/finish for an unknown id)
+// aborts the batch with an error: the sender must resynchronize from a
+// snapshot. Returns how many entries were actually applied.
+func (l *Log) ApplyEntries(entries []Entry) (applied int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ctx := context.Background()
+	for _, e := range entries {
+		ok, aerr := l.applyEntryLocked(ctx, e)
+		if aerr != nil {
+			err = aerr
+			break
+		}
+		if ok {
+			applied++
+		}
+	}
+	if applied > 0 {
+		l.syncActive(ctx) // failure is sticky and surfaces on /healthz
+		l.maybeCompactLocked()
+	}
+	return applied, err
+}
+
+// applyEntryLocked applies one shipped entry, reporting whether it changed
+// state. Callers hold l.mu.
+func (l *Log) applyEntryLocked(ctx context.Context, e Entry) (bool, error) {
+	rec := record{
+		Kind: e.Kind, ID: e.ID, Algo: e.Algo, Eps: e.Eps, Seed: e.Seed,
+		FP: e.FP, Round: e.Round, Prefer: e.Prefer, Reason: e.Reason,
+		IK: e.IK, Epoch: e.Epoch,
+	}
+	switch e.Kind {
+	case KindCreate:
+		if _, dup := l.sessions[e.ID]; dup {
+			return false, nil
+		}
+		if err := l.appendLocked(ctx, rec, false); err != nil {
+			return false, err
+		}
+		l.sessions[e.ID] = &SessionState{ID: e.ID, Algo: e.Algo, Eps: e.Eps, Seed: e.Seed, Fingerprint: e.FP, IdemKey: e.IK}
+		return true, nil
+	case KindAnswer:
+		st, ok := l.sessions[e.ID]
+		if !ok {
+			return false, fmt.Errorf("wal: replica answer for unknown session %q", e.ID)
+		}
+		if e.Round <= len(st.Answers) {
+			return false, nil // duplicate: already applied
+		}
+		if e.Round != len(st.Answers)+1 {
+			return false, fmt.Errorf("wal: replica answer gap for %q: round %d after %d applied", e.ID, e.Round, len(st.Answers))
+		}
+		if err := l.appendLocked(ctx, rec, false); err != nil {
+			return false, err
+		}
+		st.Answers = append(st.Answers, e.Prefer)
+		return true, nil
+	case KindFinish:
+		st, ok := l.sessions[e.ID]
+		if !ok {
+			return false, fmt.Errorf("wal: replica finish for unknown session %q", e.ID)
+		}
+		if st.Finished {
+			return false, nil
+		}
+		if err := l.appendLocked(ctx, rec, false); err != nil {
+			return false, err
+		}
+		st.Finished, st.Reason = true, e.Reason
+		l.dead++
+		return true, nil
+	case KindControl:
+		if e.Epoch <= l.epoch {
+			return false, nil
+		}
+		if err := l.appendLocked(ctx, rec, false); err != nil {
+			return false, err
+		}
+		l.epoch = e.Epoch
+		return true, nil
+	default:
+		return false, fmt.Errorf("wal: replica entry with unknown kind %d", e.Kind)
+	}
+}
+
+// ApplySnapshot merges a full session-state snapshot into this (follower)
+// log, journaling only the deltas: unknown sessions are created whole,
+// known ones have their missing answer suffix and tombstone appended. Like
+// ApplyEntries the merge is idempotent and commits under one fsync, so a
+// sender may push a snapshot at every reconnect without bloating the
+// follower's journal. Returns how many records were appended.
+func (l *Log) ApplySnapshot(states []SessionState) (applied int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ctx := context.Background()
+	for _, st := range states {
+		cur := l.sessions[st.ID]
+		if cur == nil {
+			rec := record{Kind: KindCreate, ID: st.ID, Algo: st.Algo, Eps: st.Eps, Seed: st.Seed, FP: st.Fingerprint, IK: st.IdemKey}
+			if err := l.appendLocked(ctx, rec, false); err != nil {
+				return applied, err
+			}
+			cur = &SessionState{ID: st.ID, Algo: st.Algo, Eps: st.Eps, Seed: st.Seed, Fingerprint: st.Fingerprint, IdemKey: st.IdemKey}
+			l.sessions[st.ID] = cur
+			applied++
+		}
+		for i := len(cur.Answers); i < len(st.Answers); i++ {
+			rec := record{Kind: KindAnswer, ID: st.ID, Round: i + 1, Prefer: st.Answers[i]}
+			if err := l.appendLocked(ctx, rec, false); err != nil {
+				return applied, err
+			}
+			cur.Answers = append(cur.Answers, st.Answers[i])
+			applied++
+		}
+		if st.Finished && !cur.Finished {
+			rec := record{Kind: KindFinish, ID: st.ID, Reason: st.Reason}
+			if err := l.appendLocked(ctx, rec, false); err != nil {
+				return applied, err
+			}
+			cur.Finished, cur.Reason = true, st.Reason
+			l.dead++
+			applied++
+		}
+	}
+	if applied > 0 {
+		l.syncActive(ctx)
+		l.maybeCompactLocked()
+	}
+	return applied, nil
+}
+
+// maybeCompactLocked runs a best-effort compaction once enough tombstoned
+// sessions accumulated. Callers hold l.mu.
+func (l *Log) maybeCompactLocked() {
+	if l.dead >= l.opts.CompactDeadSessions {
+		if cerr := l.compactLocked(); cerr != nil && l.sticky == nil {
+			l.sticky = cerr
+		}
+	}
 }
 
 // rotateLocked opens the next segment, then seals the old one. Opening
@@ -475,6 +863,21 @@ func (l *Log) compactLocked() error {
 		}
 	}
 	sort.Strings(ids)
+	if l.epoch > 0 {
+		// The epoch must survive compaction: a deposed primary that compacts
+		// away its control record and restarts would come back believing an
+		// older epoch and re-enter split brain. Write it first so recovery
+		// adopts it before any session state.
+		frame, err := encodeFrame(record{Kind: KindControl, Epoch: l.epoch})
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		if _, err := tmp.Write(frame); err != nil {
+			tmp.Close()
+			return fmt.Errorf("wal: compact write: %w", err)
+		}
+	}
 	for _, id := range ids {
 		st := l.sessions[id]
 		frames := make([]record, 0, len(st.Answers)+1)

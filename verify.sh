@@ -10,7 +10,7 @@ test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
 go test -race ./...
-go test -race -run 'Fault|Noisy|Chaos|Recover|Journal|Proxy|Client' -count=2 ./...
+go test -race -run 'Fault|Noisy|Chaos|Recover|Journal|Proxy|Client|Repl|Failover' -count=2 ./...
 
 # Benchmark smoke + regression gate: the hot-path harness must run end to
 # end, emit well-formed JSON (checked with grep to stay dependency-free),
