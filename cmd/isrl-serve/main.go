@@ -72,6 +72,7 @@ func main() {
 		replTarget  = flag.String("replicate-to", "", "run as primary: stream the journal to the follower at host:port (requires -state-dir)")
 		followAddr  = flag.String("follow", "", "run as follower: listen for a primary's journal stream on this address (requires -state-dir)")
 		promAfter   = flag.Duration("promote-after", 10*time.Second, "follower only: promote to primary after this much stream silence (0 disables auto-promotion)")
+		replToken   = flag.String("repl-token", "", "shared secret for the replication link; a follower drops handshakes without it (empty disables)")
 		faultSpec   = flag.String("fault", "", "fault-injection plan, e.g. 'lp.solve:err=0.01;geom.vertices:panic=0.001' (testing only)")
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault-injection plan")
 		logLevel    = flag.String("log-level", "info", "debug, info, warn, error")
@@ -147,13 +148,13 @@ func main() {
 	switch {
 	case *replTarget != "":
 		node = repl.NewPrimary(journal, *replTarget, repl.Options{
-			Seed: *seed, Logger: logger, Tracer: tracer,
+			Seed: *seed, Logger: logger, Tracer: tracer, Token: *replToken,
 		})
 		srvOpts = append(srvOpts, server.WithReplication(node))
 		logger.Info("replication primary", "target", *replTarget, "epoch", journal.Epoch())
 	case *followAddr != "":
 		node, err = repl.NewFollower(journal, *followAddr, repl.Options{
-			Seed: *seed, Logger: logger, Tracer: tracer, PromoteAfter: *promAfter,
+			Seed: *seed, Logger: logger, Tracer: tracer, PromoteAfter: *promAfter, Token: *replToken,
 		})
 		if err != nil {
 			fatalf("%v", err)

@@ -11,7 +11,8 @@ import (
 
 // acceptLoop serves one primary connection at a time; a second dialer
 // queues behind the first (the deposed-primary case resolves itself when
-// the old stream breaks). Every message resets the promotion watchdog.
+// the old stream breaks). Messages from a greeted, non-stale primary reset
+// the promotion watchdog.
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
 	for {
@@ -31,7 +32,9 @@ func (n *Node) acceptLoop() {
 }
 
 // serve handles one primary's stream until it breaks, the node closes, or
-// the primary proves stale.
+// the primary proves stale. Nothing before a valid hello handshake touches
+// node state: an unauthenticated peer must not be able to reset the
+// promotion watchdog, bump the epoch, or feed the journal.
 func (n *Node) serve(conn net.Conn) {
 	ioDeadline := 4 * n.opts.heartbeat()
 	greeted := false
@@ -49,10 +52,17 @@ func (n *Node) serve(conn net.Conn) {
 			}
 			return
 		}
-		n.touch()
+		if m.T == "hello" && n.opts.Token != "" && m.Token != n.opts.Token {
+			n.opts.logger().Warn("repl: dropping hello with bad replication token")
+			return
+		}
+		if m.T != "hello" && !greeted {
+			return // no handshake: drop before the message reaches anything
+		}
 		if n.deposedPrimary(m, conn, ioDeadline) {
 			return
 		}
+		n.touch()
 		switch m.T {
 		case "hello":
 			if !n.handleHello(m, conn, ioDeadline) {
@@ -60,9 +70,6 @@ func (n *Node) serve(conn net.Conn) {
 			}
 			greeted = true
 		case "snap":
-			if !greeted {
-				return
-			}
 			if err := fault.Hit(fault.PointReplApply); err != nil {
 				return // drop the stream; the primary resyncs on redial
 			}
@@ -76,9 +83,6 @@ func (n *Node) serve(conn net.Conn) {
 			n.stats.RecordsApplied += int64(applied)
 			n.mu.Unlock()
 		case "snapend":
-			if !greeted {
-				return
-			}
 			mSnapsApplied.Inc()
 			n.mu.Lock()
 			n.stats.SnapshotsApplied++
@@ -90,9 +94,6 @@ func (n *Node) serve(conn net.Conn) {
 				return
 			}
 		case "batch":
-			if !greeted {
-				return
-			}
 			if err := fault.Hit(fault.PointReplApply); err != nil {
 				return
 			}
@@ -219,16 +220,18 @@ func (n *Node) watchdog() {
 		}
 		n.mu.Lock()
 		silent := time.Since(n.lastSeen)
-		promoted := n.promoting
+		promoted := n.promoted
 		n.mu.Unlock()
 		if promoted {
 			return
 		}
 		if silent >= limit {
+			// Keep ticking until the promotion actually lands (n.promoted):
+			// a failed epoch append resets `promoting`, so the next tick
+			// retries instead of leaving the node wedged as a dead follower.
 			if err := n.Promote(); err != nil {
-				n.opts.logger().Warn("repl: promotion failed", "err", err)
+				n.opts.logger().Warn("repl: promotion failed; retrying", "err", err)
 			}
-			return
 		}
 	}
 }

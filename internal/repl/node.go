@@ -36,11 +36,15 @@ type Node struct {
 
 	// Primary tail ring: consecutive entries covering (floor, floor+len].
 	// A follower whose resume LSN is below floor must take a snapshot.
-	ring   []wal.Entry
-	floor  int64
-	notify chan struct{}
-	ackLSN int64 // highest LSN the follower acknowledged
-	sid    uint64
+	// floorBytes is the cumulative journal position at the floor entry (-1
+	// when lost to a feed gap), so shipped-byte accounting has a baseline
+	// for the first ring entry.
+	ring       []wal.Entry
+	floor      int64
+	floorBytes int64
+	notify     chan struct{}
+	ackLSN     int64 // highest LSN the follower acknowledged
+	sid        uint64
 
 	// Follower apply position within the primary's current stream.
 	appliedLSN   int64
@@ -123,8 +127,9 @@ func (n *Node) Start() {
 		// anything committed after Start() is guaranteed to reach the ring
 		// (a missed entry would force a needless snapshot resync).
 		ch, cancel := n.log.Subscribe(n.opts.ringCap())
+		pos := n.log.Pos()
 		n.mu.Lock()
-		n.floor = n.log.Pos().LSN
+		n.floor, n.floorBytes = pos.LSN, pos.Bytes
 		n.mu.Unlock()
 		n.wg.Add(2)
 		go n.feedLoop(ch, cancel)
@@ -225,7 +230,8 @@ func (n *Node) Stats() Stats {
 // once, but the role flip is what opens the server's replication gate —
 // it must wait until the hook has rebuilt the sessions, or a fast client
 // would see 404s instead of 503s mid-failover. Idempotent; safe to call
-// manually even when auto-promotion is disabled.
+// manually even when auto-promotion is disabled. A failed epoch append
+// clears the in-flight flag so the caller (or the watchdog) can retry.
 func (n *Node) Promote() error {
 	n.mu.Lock()
 	if n.promoting || n.closed {
@@ -239,6 +245,12 @@ func (n *Node) Promote() error {
 
 	epoch := n.log.Epoch() + 1
 	if err := n.log.SetEpoch(epoch); err != nil {
+		// Leave the node promotable: a wedged `promoting` flag would make
+		// every later Promote a no-op, shed all client traffic forever, and
+		// deny even a healthy primary's stream.
+		n.mu.Lock()
+		n.promoting = false
+		n.mu.Unlock()
 		return fmt.Errorf("repl: promote: %w", err)
 	}
 	mPromotions.Inc()

@@ -58,10 +58,12 @@ func (n *Node) feedEntry(e wal.Entry) {
 	case e.LSN > next:
 		n.ring = n.ring[:0]
 		n.floor = e.LSN - 1
+		n.floorBytes = -1 // position before the gap entry is unknown
 	}
 	n.ring = append(n.ring, e)
 	if len(n.ring) > n.opts.ringCap() {
 		trim := len(n.ring) - n.opts.ringCap()
+		n.floorBytes = n.ring[trim-1].Bytes
 		n.ring = append(n.ring[:0], n.ring[trim:]...)
 		n.floor += int64(trim)
 	}
@@ -72,26 +74,32 @@ func (n *Node) feedEntry(e wal.Entry) {
 	}
 }
 
-// takeBatch returns up to BatchMax entries with LSN > after. ok=false means
-// the position fell off the ring (compacted past, or a feed gap): the
-// caller must push a snapshot instead.
-func (n *Node) takeBatch(after int64) ([]wal.Entry, bool) {
+// takeBatch returns up to BatchMax entries with LSN > after, plus the
+// cumulative journal position immediately before the first returned entry
+// (-1 when that baseline was lost to a feed gap) so the caller can count
+// shipped bytes. ok=false means the position fell off the ring (compacted
+// past, or a feed gap): the caller must push a snapshot instead.
+func (n *Node) takeBatch(after int64) (batch []wal.Entry, prevBytes int64, ok bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if after < n.floor {
-		return nil, false
+		return nil, 0, false
 	}
 	i := after - n.floor
 	if i >= int64(len(n.ring)) {
-		return nil, true
+		return nil, 0, true
+	}
+	prevBytes = n.floorBytes
+	if i > 0 {
+		prevBytes = n.ring[i-1].Bytes
 	}
 	end := i + int64(n.opts.batchMax())
 	if end > int64(len(n.ring)) {
 		end = int64(len(n.ring))
 	}
-	batch := make([]wal.Entry, end-i)
+	batch = make([]wal.Entry, end-i)
 	copy(batch, n.ring[i:end])
-	return batch, true
+	return batch, prevBytes, true
 }
 
 // shipLoop dials the follower and streams until the node closes or the
@@ -155,7 +163,7 @@ func (n *Node) stream(conn net.Conn) error {
 	hbInterval := n.opts.heartbeat()
 	ioDeadline := 4 * hbInterval
 
-	if err := writeMsg(conn, msg{T: "hello", Epoch: n.log.Epoch(), SID: n.sid}, ioDeadline); err != nil {
+	if err := writeMsg(conn, msg{T: "hello", Epoch: n.log.Epoch(), SID: n.sid, Token: n.opts.Token}, ioDeadline); err != nil {
 		return err
 	}
 	w, err := readMsg(conn, ioDeadline)
@@ -164,8 +172,17 @@ func (n *Node) stream(conn net.Conn) error {
 	}
 	switch w.T {
 	case "deny":
-		n.log.Fence(w.Epoch)
-		return errDeposed
+		if w.Epoch > n.log.Epoch() {
+			n.log.Fence(w.Epoch)
+			return errDeposed
+		}
+		// A deny without a higher epoch comes from a follower mid-promotion
+		// whose epoch bump is not yet durable. Fencing with it would be a
+		// no-op, leaving this node unfenced but silent — the split-brain
+		// window. Treat it like a broken stream and redial until the
+		// follower either presents an epoch that actually fences the
+		// journal or accepts us again.
+		return errDenied
 	case "welcome":
 		if w.Epoch > n.log.Epoch() {
 			n.log.Fence(w.Epoch)
@@ -179,7 +196,7 @@ func (n *Node) stream(conn net.Conn) error {
 	// boot can never receive those sessions from the tail stream (they
 	// predate the in-memory LSN counter), so force the snapshot path.
 	sent := w.LSN
-	if _, ok := n.takeBatch(sent); !ok || (sent == 0 && n.log.HasBootState()) {
+	if _, _, ok := n.takeBatch(sent); !ok || (sent == 0 && n.log.HasBootState()) {
 		pos, err := n.snapshot(conn, ioDeadline)
 		if err != nil {
 			return err
@@ -210,8 +227,12 @@ func (n *Node) stream(conn net.Conn) error {
 					mLagRecords.Set(lag)
 				}
 			case "deny":
-				n.log.Fence(m.Epoch)
-				readerErr <- errDeposed
+				if m.Epoch > n.log.Epoch() {
+					n.log.Fence(m.Epoch)
+					readerErr <- errDeposed
+				} else {
+					readerErr <- errDenied
+				}
 				return
 			}
 		}
@@ -228,12 +249,12 @@ func (n *Node) stream(conn net.Conn) error {
 			return nil
 		default:
 		}
-		batch, ok := n.takeBatch(sent)
+		batch, prevBytes, ok := n.takeBatch(sent)
 		if !ok {
 			return errResync
 		}
 		if len(batch) > 0 {
-			if err := n.shipBatch(conn, batch, ioDeadline, batchSeq); err != nil {
+			if err := n.shipBatch(conn, batch, prevBytes, ioDeadline, batchSeq); err != nil {
 				return err
 			}
 			sent = batch[len(batch)-1].LSN
@@ -272,7 +293,9 @@ func (n *Node) stream(conn net.Conn) error {
 }
 
 // shipBatch sends one batch frame, traced when sampling selects it.
-func (n *Node) shipBatch(conn net.Conn, batch []wal.Entry, deadline time.Duration, seq int64) error {
+// prevBytes is the cumulative journal position before the batch's first
+// entry (-1 when unknown), the baseline for shipped-byte accounting.
+func (n *Node) shipBatch(conn net.Conn, batch []wal.Entry, prevBytes int64, deadline time.Duration, seq int64) error {
 	if err := fault.Hit(fault.PointReplSend); err != nil {
 		mSendErrors.Inc()
 		return err
@@ -295,12 +318,19 @@ func (n *Node) shipBatch(conn net.Conn, batch []wal.Entry, deadline time.Duratio
 	if err != nil {
 		return err
 	}
+	sentBytes := last.Bytes - prevBytes
+	if prevBytes < 0 {
+		// The baseline fell to a feed gap: count only the deltas inside the
+		// batch rather than guess the first entry's frame size.
+		sentBytes = last.Bytes - batch[0].Bytes
+	}
 	mBatchesSent.Inc()
 	mRecordsSent.Add(int64(len(batch)))
-	mBytesSent.Add(last.Bytes - batch[0].Bytes + 1)
+	mBytesSent.Add(sentBytes)
 	n.mu.Lock()
 	n.stats.BatchesSent++
 	n.stats.RecordsSent += int64(len(batch))
+	n.stats.BytesSent += sentBytes
 	n.mu.Unlock()
 	return nil
 }

@@ -47,6 +47,7 @@ type msg struct {
 	T       string             `json:"t"`             // hello|welcome|deny|snap|snapend|batch|hb|ack
 	Epoch   uint64             `json:"ep,omitempty"`  // sender's failover epoch
 	SID     uint64             `json:"sid,omitempty"` // hello: primary stream id (resume token)
+	Token   string             `json:"tok,omitempty"` // hello: shared replication secret
 	LSN     int64              `json:"lsn,omitempty"` // position (meaning depends on T)
 	Bytes   int64              `json:"b,omitempty"`   // cumulative bytes at LSN
 	States  []wal.SessionState `json:"ss,omitempty"`  // snap: one chunk of sessions
@@ -77,6 +78,12 @@ type Options struct {
 	// RingCap caps the in-memory tail ring; a follower further behind than
 	// this resynchronizes from a snapshot. Default 8192.
 	RingCap int
+	// Token is a shared secret for the replication link. A follower with a
+	// Token set drops any hello that does not present it, so a peer that
+	// can merely reach the -follow port cannot reset the promotion
+	// watchdog, bump the epoch, or feed the journal. Empty disables the
+	// check.
+	Token string
 	// Seed feeds the promotion jitter and the stream id. 0 uses a
 	// time-derived seed.
 	Seed int64
@@ -148,6 +155,7 @@ type Stats struct {
 	SnapshotsSent    int64 // full snapshot pushes (primary)
 	BatchesSent      int64
 	RecordsSent      int64
+	BytesSent        int64 // journal bytes covered by shipped batches
 	HeartbeatsSent   int64
 	Reconnects       int64 // failed dials + broken streams (primary)
 	SnapshotsApplied int64 // snapshot pushes folded in (follower)
@@ -208,8 +216,15 @@ func readMsg(conn net.Conn, deadline time.Duration) (msg, error) {
 }
 
 // errDeposed is returned inside the primary's stream loop when the follower
-// announced a higher epoch: this node must stop replicating permanently.
+// announced a higher epoch that actually fenced the local journal: this
+// node must stop replicating permanently.
 var errDeposed = errors.New("repl: deposed by higher epoch")
+
+// errDenied is returned when the follower denied the stream without
+// presenting an epoch above ours — a follower mid-promotion whose bump is
+// not yet durable. The primary redials like any broken stream; stopping
+// here would leave an unfenced primary silently accepting writes.
+var errDenied = errors.New("repl: denied without a fencing epoch")
 
 // errResync is returned when the follower's position fell off the tail
 // ring; the stream restarts with a snapshot push.

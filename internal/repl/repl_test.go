@@ -3,6 +3,7 @@ package repl
 import (
 	"encoding/json"
 	"errors"
+	"net"
 	"sort"
 	"sync/atomic"
 	"testing"
@@ -291,6 +292,228 @@ func TestReplPromotionFencesDeposedPrimary(t *testing.T) {
 	}
 	if st := follower.Stats(); st.StaleDenied == 0 {
 		t.Error("promoted follower denied no stale primaries")
+	}
+}
+
+// TestReplDenyWithoutHigherEpochRedials pins the split-brain fix: a deny
+// whose epoch is not above the primary's (a follower mid-promotion, before
+// its epoch bump is durable) must be treated as a broken stream — the
+// primary redials until a deny that can actually fence it arrives. The old
+// behaviour stopped permanently on the first deny, leaving an unfenced
+// primary accepting writes alongside the promoted follower.
+func TestReplDenyWithoutHigherEpochRedials(t *testing.T) {
+	pLog, _ := openLog(t, wal.Options{})
+	driveSessions(t, pLog, 1, 0) // a live session to probe fenced appends with
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var denies atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			m, err := readMsg(conn, time.Second)
+			if err != nil || m.T != "hello" {
+				conn.Close()
+				continue
+			}
+			// First few denies carry the primary's own epoch — the
+			// mid-promotion race where SetEpoch is not yet durable. Then the
+			// bump lands and denies carry the higher epoch.
+			ep := m.Epoch
+			if denies.Add(1) > 3 {
+				ep = m.Epoch + 1
+			}
+			writeMsg(conn, msg{T: "deny", Epoch: ep, Err: "promoting"}, time.Second)
+			conn.Close()
+		}
+	}()
+
+	primary := NewPrimary(pLog, ln.Addr().String(), fastOpts(1))
+	primary.Start()
+	defer primary.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !pLog.Fenced() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !pLog.Fenced() {
+		t.Fatal("primary never fenced: it stopped redialing after a non-fencing deny")
+	}
+	if got := denies.Load(); got <= 3 {
+		t.Errorf("primary fenced after %d denies; the non-fencing denies cannot have fenced it", got)
+	}
+	if err := pLog.AppendAnswer("a0", true); !errors.Is(err, wal.ErrStaleEpoch) {
+		t.Fatalf("fenced primary append: %v, want wal.ErrStaleEpoch", err)
+	}
+}
+
+// TestReplPromoteRetriesAfterEpochAppendFailure pins the watchdog-wedge
+// fix: when the epoch control record cannot be journaled (disk fault at
+// promotion time), the follower must stay promotable and the watchdog must
+// keep retrying rather than exiting with `promoting` stuck true.
+func TestReplPromoteRetriesAfterEpochAppendFailure(t *testing.T) {
+	plan := fault.NewPlan(1)
+	fault.Install(plan)
+	defer fault.Install(nil)
+
+	fLog, _ := openLog(t, wal.Options{})
+	opts := fastOpts(2)
+	opts.PromoteAfter = 50 * time.Millisecond
+	opts.PromoteJitter = 10 * time.Millisecond
+	follower, err := NewFollower(fLog, "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan.Set(fault.PointWALWrite, fault.Spec{ErrProb: 1})
+	follower.Start()
+	defer follower.Close()
+
+	// Let the watchdog fire into the failing journal a few times.
+	time.Sleep(200 * time.Millisecond)
+	if follower.Role() == "primary" {
+		t.Fatal("follower promoted while the epoch append was failing")
+	}
+
+	// Heal the disk: the next watchdog tick must complete the promotion.
+	plan.Set(fault.PointWALWrite, fault.Spec{})
+	deadline := time.Now().Add(5 * time.Second)
+	for follower.Role() != "primary" && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if follower.Role() != "primary" {
+		t.Fatal("watchdog never retried promotion after the epoch append failure")
+	}
+	if fLog.Epoch() != 1 {
+		t.Fatalf("promoted follower epoch = %d, want 1", fLog.Epoch())
+	}
+}
+
+// TestReplPreHandshakeTrafficCannotStallPromotion pins the watchdog-
+// suppression fix: validly-framed messages from a peer that never completes
+// the hello handshake must be dropped without resetting the promotion
+// watchdog, so a port-scanning (or malicious) peer cannot hold a follower
+// out of promotion forever.
+func TestReplPreHandshakeTrafficCannotStallPromotion(t *testing.T) {
+	fLog, _ := openLog(t, wal.Options{})
+	opts := fastOpts(2)
+	opts.PromoteAfter = 100 * time.Millisecond
+	opts.PromoteJitter = 20 * time.Millisecond
+	follower, err := NewFollower(fLog, "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower.Start()
+	defer follower.Close()
+
+	// Spam heartbeats with no hello, redialing every time the follower
+	// (correctly) drops the connection.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			conn, err := net.Dial("tcp", follower.Addr())
+			if err != nil {
+				continue
+			}
+			for writeMsg(conn, msg{T: "hb", Epoch: 99, LSN: 1}, 100*time.Millisecond) == nil {
+				select {
+				case <-stop:
+					conn.Close()
+					return
+				case <-time.After(5 * time.Millisecond):
+				}
+			}
+			conn.Close()
+		}
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for follower.Role() != "primary" && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if follower.Role() != "primary" {
+		t.Fatal("pre-handshake heartbeats suppressed auto-promotion")
+	}
+}
+
+// TestReplTokenGatesHandshake covers the shared-secret option: a follower
+// with a Token drops hellos without it (no welcome, no epoch adoption),
+// while a primary presenting the matching token streams normally.
+func TestReplTokenGatesHandshake(t *testing.T) {
+	fLog, _ := openLog(t, wal.Options{})
+	fOpts := fastOpts(2)
+	fOpts.Token = "s3cret"
+	follower, err := NewFollower(fLog, "127.0.0.1:0", fOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower.Start()
+	defer follower.Close()
+
+	// Unauthenticated hello claiming a huge epoch: must be dropped, not
+	// welcomed, and must not bump the follower's epoch.
+	conn, err := net.Dial("tcp", follower.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeMsg(conn, msg{T: "hello", Epoch: 42, SID: 7}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := readMsg(conn, time.Second); err == nil {
+		t.Fatalf("follower replied %q to an unauthenticated hello, want dropped connection", m.T)
+	}
+	conn.Close()
+	if got := fLog.Epoch(); got != 0 {
+		t.Fatalf("unauthenticated hello bumped the epoch to %d", got)
+	}
+
+	pLog, _ := openLog(t, wal.Options{})
+	pOpts := fastOpts(1)
+	pOpts.Token = "s3cret"
+	primary := NewPrimary(pLog, follower.Addr(), pOpts)
+	primary.Start()
+	defer primary.Close()
+	driveSessions(t, pLog, 2, 0)
+	waitSynced(t, pLog, fLog, 5*time.Second)
+}
+
+// TestReplBytesSentMatchesJournal pins the shipped-byte accounting: a fresh
+// pair streams the whole journal from LSN 0, so the primary's BytesSent
+// must equal the journal's cumulative byte position exactly — no off-by-a-
+// frame undercount.
+func TestReplBytesSentMatchesJournal(t *testing.T) {
+	pLog, _ := openLog(t, wal.Options{})
+	fLog, _ := openLog(t, wal.Options{})
+
+	follower, err := NewFollower(fLog, "127.0.0.1:0", fastOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower.Start()
+	defer follower.Close()
+
+	primary := NewPrimary(pLog, follower.Addr(), fastOpts(1))
+	primary.Start()
+	defer primary.Close()
+
+	driveSessions(t, pLog, 4, 0)
+	waitSynced(t, pLog, fLog, 5*time.Second)
+
+	pos := pLog.Pos()
+	if st := primary.Stats(); st.BytesSent != pos.Bytes {
+		t.Errorf("BytesSent = %d, want %d (journal cumulative bytes)", st.BytesSent, pos.Bytes)
 	}
 }
 
