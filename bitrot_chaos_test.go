@@ -1,0 +1,330 @@
+package isrl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"isrl/internal/netfault"
+	"isrl/internal/repl"
+	"isrl/internal/wal"
+)
+
+// TestChaosBitRotScrubRepair is the acceptance gate for self-healing
+// durability: a replicated pair runs live sessions with tiny segments so
+// sealed history accumulates mid-run; bytes are flipped in one sealed
+// segment on EACH node; scrubbing detects and quarantines both, and the
+// anti-entropy digest exchange heals both sides byte-identically from the
+// peer — all while client traffic keeps flowing through a kill-prone
+// proxy. The primary is then killed outright, the follower promotes, every
+// session finishes byte-identical to a fault-free solo run, and a repair
+// offer carrying the dead primary's stale epoch bounces off the promoted
+// node without touching its quarantine.
+func TestChaosBitRotScrubRepair(t *testing.T) {
+	// Baseline: fault-free solo run.
+	cleanDir := t.TempDir()
+	cleanSrv, cleanJ := chaosServer(t, cleanDir)
+	cleanTS := httptest.NewServer(cleanSrv)
+	want := failoverRun(t, []string{cleanTS.URL}, nil)
+	cleanTS.Close()
+	cleanJ.Close()
+
+	// The pair, with 512-byte segments so rotations (and thus sealed,
+	// scrubbable history) happen every few records. The follower connects
+	// before any append, so it re-frames the identical record stream into
+	// an identical segment layout — the precondition for raw-byte repair.
+	dirA, dirB := t.TempDir(), t.TempDir()
+	fLog, _, err := wal.Open(dirB, wal.Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fLog.Close()
+	fNode, err := repl.NewFollower(fLog, "127.0.0.1:0", repl.Options{
+		Heartbeat:     25 * time.Millisecond,
+		PromoteAfter:  250 * time.Millisecond,
+		PromoteJitter: 50 * time.Millisecond,
+		Seed:          9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fSrv := replServer(t, fLog, fNode)
+	fNode.OnPromote(func(epoch uint64, states []wal.SessionState) {
+		n := fSrv.Recover(states)
+		t.Logf("promoted at epoch %d with %d live sessions", epoch, n)
+	})
+	fNode.Start()
+	defer fNode.Close()
+	fTS := httptest.NewServer(fSrv)
+	defer fTS.Close()
+
+	pLog, _, err := wal.Open(dirA, wal.Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pLog.Close()
+	pNode := repl.NewPrimary(pLog, fNode.Addr(), repl.Options{
+		Heartbeat:     25 * time.Millisecond,
+		RedialBackoff: 10 * time.Millisecond,
+		DigestEvery:   25 * time.Millisecond,
+		Seed:          8,
+	})
+	pSrv := replServer(t, pLog, pNode)
+	pTS := httptest.NewServer(pSrv)
+	defer pTS.Close()
+	pNode.Start()
+	defer pNode.Close()
+
+	tu, err := url.Parse(pTS.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := netfault.ParsePlan("kill=0.15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := netfault.New(tu.Host, plan, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// Phase one, triggered mid-run: flip a byte in a different sealed
+	// segment on each node, scrub both so the damage is quarantined, and
+	// wait for the digest exchange to heal both directions.
+	rot := func() bool {
+		pSealed, fSealed := pLog.SealedSegments(), fLog.SealedSegments()
+		if len(pSealed) < 2 || len(fSealed) < 2 ||
+			pSealed[0] != fSealed[0] || pSealed[1] != fSealed[1] {
+			return false // not enough shared sealed history yet; retry later
+		}
+		victims := []int{pSealed[0].Seq, fSealed[1].Seq}
+		for i, dir := range []string{dirA, dirB} {
+			path := filepath.Join(dir, wal.SegName(victims[i]))
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read segment for rot: %v", err)
+			}
+			data[len(data)/2] ^= 0x01
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, l := range []*wal.Log{pLog, fLog} {
+			rep, err := l.Scrub(context.Background(), 0)
+			if err != nil {
+				t.Fatalf("scrub: %v", err)
+			}
+			if rep.Corrupt != 1 {
+				t.Fatalf("scrub found %d corrupt segments, want the 1 planted", rep.Corrupt)
+			}
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if len(pLog.Quarantined()) == 0 && len(fLog.Quarantined()) == 0 {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if q := pLog.Quarantined(); len(q) != 0 {
+			t.Fatalf("primary never healed %v via anti-entropy", q)
+		}
+		if q := fLog.Quarantined(); len(q) != 0 {
+			t.Fatalf("follower never healed %v via anti-entropy", q)
+		}
+		for _, seq := range victims {
+			a, err := os.ReadFile(filepath.Join(dirA, wal.SegName(seq)))
+			if err != nil {
+				t.Fatalf("primary segment %d after repair: %v", seq, err)
+			}
+			b, err := os.ReadFile(filepath.Join(dirB, wal.SegName(seq)))
+			if err != nil {
+				t.Fatalf("follower segment %d after repair: %v", seq, err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("segment %d not byte-identical after repair", seq)
+			}
+		}
+		t.Logf("bit rot healed: segments %v byte-identical again", victims)
+		return true
+	}
+
+	// Phase two: kill the primary once the follower has fully caught up.
+	killed := false
+	kill := func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if r, _ := pNode.Lag(); r == 0 {
+				break
+			}
+			if !time.Now().Before(deadline) {
+				t.Fatal("follower never caught up before the kill")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		proxy.Close()
+		pNode.Close()
+		killed = true
+	}
+	rotted := false
+	hook := func(session, answer int) {
+		if !rotted && (session >= 3 || (session == 2 && answer >= 2)) {
+			rotted = rot()
+		}
+		if killed {
+			return
+		}
+		if rotted && ((session == 5 && answer >= 2) || session > 5) {
+			kill()
+		}
+	}
+	got := failoverRun(t, []string{"http://" + proxy.Addr(), fTS.URL}, hook)
+
+	if !rotted {
+		t.Fatal("bit-rot phase never ran; sealed history never accumulated")
+	}
+	if !killed {
+		t.Fatal("kill switch never fired; the failover path was not exercised")
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("results after bit rot + failover differ from fault-free run:\nchaos: %s\nclean: %s", got, want)
+	}
+	if role := fNode.Role(); role != "primary" {
+		t.Errorf("follower role after failover = %q, want primary", role)
+	}
+
+	// The stale-epoch gate on repair: quarantine a sealed segment on the
+	// promoted node, then offer it the correct bytes from the dead
+	// primary's epoch. The promoted node must deny the handshake, ignore
+	// the un-greeted payload, and keep the quarantine.
+	sealed := fLog.SealedSegments()
+	if len(sealed) == 0 {
+		t.Fatal("promoted node has no sealed history")
+	}
+	victim := sealed[0].Seq
+	path := filepath.Join(dirB, wal.SegName(victim))
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotted2 := append([]byte(nil), pristine...)
+	rotted2[len(rotted2)/2] ^= 0x01
+	if err := os.WriteFile(path, rotted2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fLog.Scrub(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if q := fLog.Quarantined(); len(q) != 1 || q[0] != victim {
+		t.Fatalf("quarantine setup = %v, want [%d]", q, victim)
+	}
+	offerStaleRepair(t, fNode.Addr(), victim, pristine)
+	if q := fLog.Quarantined(); len(q) != 1 || q[0] != victim {
+		t.Fatalf("stale repair offer touched the quarantine: %v", q)
+	}
+	// An operator-driven local repair (or a new legitimate peer) still works.
+	if err := fLog.RepairSegment(victim, pristine); err != nil {
+		t.Fatalf("legitimate repair after stale offer: %v", err)
+	}
+
+	// Exactly-once audit of the promoted journal, post-repair: every create
+	// exactly once, every session's answer rounds strictly increasing.
+	recs, err := wal.Records(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	creates := 0
+	lastRound := map[string]int{}
+	for _, r := range recs {
+		switch r.Kind {
+		case wal.KindCreate:
+			creates++
+		case wal.KindAnswer:
+			if r.Round != lastRound[r.ID]+1 {
+				t.Errorf("journaled answer rounds for %s not strictly increasing: %d after %d",
+					r.ID, r.Round, lastRound[r.ID])
+			}
+			lastRound[r.ID] = r.Round
+		}
+	}
+	if creates != chaosSessions {
+		t.Errorf("promoted journal holds %d create records, want %d", creates, chaosSessions)
+	}
+}
+
+// replWire is the subset of the replication wire message this test speaks:
+// one CRC32 wal frame of JSON, built here from the documented field names
+// rather than the repl package's unexported type — which also pins the
+// wire format itself.
+type replWire struct {
+	T     string `json:"t"`
+	Epoch uint64 `json:"ep,omitempty"`
+	SID   uint64 `json:"sid,omitempty"`
+	Seq   int    `json:"seq,omitempty"`
+	Data  []byte `json:"d,omitempty"`
+	Err   string `json:"err,omitempty"`
+}
+
+func replWireSend(conn net.Conn, m replWire) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	frame, err := wal.Frame(payload, 64<<20)
+	if err != nil {
+		return err
+	}
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_, err = conn.Write(frame)
+	return err
+}
+
+func replWireRecv(conn net.Conn) (replWire, error) {
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	payload, err := wal.ReadFrame(conn, 64<<20)
+	if err != nil {
+		return replWire{}, err
+	}
+	var m replWire
+	err = json.Unmarshal(payload, &m)
+	return m, err
+}
+
+// offerStaleRepair plays a fenced ex-primary offering segment bytes at the
+// dead epoch: the hello is denied outright, and a payload shoved down a
+// fresh connection without a handshake must be dropped unseen.
+func offerStaleRepair(t *testing.T, addr string, seq int, data []byte) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := replWireSend(conn, replWire{T: "hello", Epoch: 0, SID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := replWireRecv(conn)
+	if err != nil || m.T != "deny" {
+		t.Fatalf("stale hello reply = %+v, %v; want deny", m, err)
+	}
+	if m.Epoch == 0 {
+		t.Fatal("deny carried no fencing epoch")
+	}
+	// Second attempt: skip the handshake and push the repair payload cold.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if err := replWireSend(conn2, replWire{T: "rep", Epoch: 0, Seq: seq, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the follower read (and drop) it
+}

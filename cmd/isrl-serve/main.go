@@ -66,6 +66,8 @@ func main() {
 		sessionTTL  = flag.Duration("session-ttl", server.DefaultSessionTTL, "evict sessions idle longer than this (0 disables)")
 		deadline    = flag.Duration("answer-deadline", server.DefaultAnswerDeadline, "max wait for the next question before 503 (0 waits forever)")
 		stateDir    = flag.String("state-dir", "", "write-ahead journal directory; restarts recover in-flight sessions (empty disables)")
+		scrubEvery  = flag.Duration("scrub-every", 5*time.Minute, "background scrub interval for sealed journal segments; also paces the anti-entropy digest exchange on a primary (0 disables)")
+		scrubRate   = flag.Int64("scrub-rate", 8<<20, "scrub read budget in bytes/sec (0 removes the limit)")
 		maxSessions = flag.Int("max-sessions", 0, "admission cap on live sessions; at capacity POST /sessions returns 429 (0 disables)")
 		answerQueue = flag.Int("answer-queue", server.DefaultAnswerQueue, "bounded answer-work queue size; excess requests shed with 503 (0 disables)")
 		shutGrace   = flag.Duration("shutdown-grace", 10*time.Second, "on SIGTERM, let in-flight sessions finish for up to this long before journaling expiry tombstones")
@@ -137,7 +139,7 @@ func main() {
 	var journal *wal.Log
 	var recoveredStates []wal.SessionState
 	if *stateDir != "" {
-		journal, recoveredStates, err = wal.Open(*stateDir, wal.Options{})
+		journal, recoveredStates, err = wal.Open(*stateDir, wal.Options{Logger: logger})
 		if err != nil {
 			fatalf("open journal: %v", err)
 		}
@@ -149,6 +151,7 @@ func main() {
 	case *replTarget != "":
 		node = repl.NewPrimary(journal, *replTarget, repl.Options{
 			Seed: *seed, Logger: logger, Tracer: tracer, Token: *replToken,
+			DigestEvery: *scrubEvery,
 		})
 		srvOpts = append(srvOpts, server.WithReplication(node))
 		logger.Info("replication primary", "target", *replTarget, "epoch", journal.Epoch())
@@ -187,6 +190,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if journal != nil && *scrubEvery > 0 {
+		go journal.ScrubLoop(ctx, *scrubEvery, *scrubRate)
+		logger.Info("journal scrubber running", "every", *scrubEvery, "rate_bytes_per_s", *scrubRate)
+	}
 
 	if *debugAddr != "" {
 		// net/http/pprof registered itself on the DefaultServeMux; serve it

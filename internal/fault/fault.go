@@ -45,6 +45,8 @@ const (
 	PointReplSend      = "repl.send"      // internal/repl: one batch/snapshot frame leaving the primary
 	PointReplApply     = "repl.apply"     // internal/repl: one batch/snapshot applied on the follower
 	PointReplHeartbeat = "repl.heartbeat" // internal/repl: one heartbeat leaving the primary
+
+	PointScrubRead = "wal.scrub.read" // internal/wal: one rate-limited scrubber read of a sealed segment
 )
 
 // ErrInjected is the sentinel wrapped by every injected error; callers test

@@ -94,9 +94,10 @@ func TestMetricNameHygiene(t *testing.T) {
 	}
 	// The resilience layers must stay instrumented: the client SDK, the
 	// netfault proxy and the replication link each register at least one
-	// metric the scan can see, and the incremental geometry engine and warm
-	// LP solver keep their fallback/hit-rate counters observable.
-	for _, prefix := range []string{"client.", "netfault.", "geom.inc.", "lp.warm.", "repl."} {
+	// metric the scan can see, the incremental geometry engine and warm
+	// LP solver keep their fallback/hit-rate counters observable, and the
+	// journal scrubber keeps its corruption/repair audit trail.
+	for _, prefix := range []string{"client.", "netfault.", "geom.inc.", "lp.warm.", "repl.", "wal.scrub."} {
 		found := false
 		for name := range kinds {
 			if strings.HasPrefix(name, prefix) {

@@ -1,0 +1,93 @@
+package repl
+
+// Anti-entropy repair rides the replication stream: either end
+// periodically announces the sealed-segment digest from its WAL manifest
+// (msg type "digest"), the peer compares it against its own manifest with
+// wal.CompareDigest, and any locally-quarantined segment whose peer copy
+// still matches the local manifest is re-fetched ("repreq" → "rep") and
+// healed byte-identically with wal.RepairSegment. The epoch rules mirror
+// the shipping path: every anti-entropy message carries the sender's
+// epoch, a follower's deposedPrimary gate denies the lot from a stale
+// primary, and applyRepair re-checks the epoch so a fenced node's bytes
+// can never overwrite a promoted peer's history even if a gate is missed.
+// Divergent-but-healthy segments (same length, different CRC on both
+// sides) are counted and logged, never auto-adopted: with neither copy
+// failing its own manifest there is no way to know which history is the
+// true one, so that call is left to an operator.
+
+// digestMsg builds this node's sealed-segment digest announcement. want
+// asks the peer to answer with its own digest, closing the loop so both
+// ends get a repair opportunity per exchange.
+func (n *Node) digestMsg(want bool) msg {
+	mDigestsSent.Inc()
+	n.mu.Lock()
+	n.stats.DigestsSent++
+	n.mu.Unlock()
+	return msg{T: "digest", Epoch: n.log.Epoch(), Segs: n.log.SealedSegments(), Want: want}
+}
+
+// repairRequests compares a peer digest against the local manifest and
+// returns one repreq per segment this node wants healed.
+func (n *Node) repairRequests(m msg) []msg {
+	want, divergent := n.log.CompareDigest(m.Segs)
+	n.mu.Lock()
+	n.stats.DigestsReceived++
+	n.stats.RepairsRequested += int64(len(want))
+	n.mu.Unlock()
+	if len(divergent) > 0 {
+		n.opts.logger().Warn("repl: sealed segments diverge from peer; not auto-adopting",
+			"segments", divergent)
+	}
+	reqs := make([]msg, 0, len(want))
+	for _, seq := range want {
+		reqs = append(reqs, msg{T: "repreq", Epoch: n.log.Epoch(), Seq: seq})
+	}
+	return reqs
+}
+
+// serveRepair answers one repreq with the raw segment bytes. ok=false when
+// the segment cannot be served (quarantined here too, compacted away, or
+// failing its own manifest check — SegmentData never ships unverified
+// bytes); the requester just waits for a healthier exchange.
+func (n *Node) serveRepair(m msg) (msg, bool) {
+	data, _, err := n.log.SegmentData(m.Seq)
+	if err != nil {
+		n.opts.logger().Warn("repl: cannot serve repair", "seq", m.Seq, "err", err)
+		return msg{}, false
+	}
+	mRepairsServed.Inc()
+	n.mu.Lock()
+	n.stats.RepairsServed++
+	n.mu.Unlock()
+	return msg{T: "rep", Epoch: n.log.Epoch(), Seq: m.Seq, Data: data}, true
+}
+
+// applyRepair folds one rep payload into a quarantined segment. A stale
+// epoch is refused outright — a fenced primary must never "repair" a
+// promoted follower — and RepairSegment independently refuses bytes that
+// fail the local manifest, so a corrupt or malicious payload cannot land.
+func (n *Node) applyRepair(m msg) {
+	if m.Epoch < n.log.Epoch() {
+		n.rejectRepair()
+		n.opts.logger().Warn("repl: rejecting repair from stale epoch",
+			"seq", m.Seq, "their_epoch", m.Epoch, "our_epoch", n.log.Epoch())
+		return
+	}
+	if err := n.log.RepairSegment(m.Seq, m.Data); err != nil {
+		n.rejectRepair()
+		n.opts.logger().Warn("repl: repair payload refused", "seq", m.Seq, "err", err)
+		return
+	}
+	mRepairsApplied.Inc()
+	n.mu.Lock()
+	n.stats.RepairsApplied++
+	n.mu.Unlock()
+	n.opts.logger().Info("repl: healed quarantined segment from peer", "seq", m.Seq)
+}
+
+func (n *Node) rejectRepair() {
+	mRepairsRejected.Inc()
+	n.mu.Lock()
+	n.stats.RepairsRejected++
+	n.mu.Unlock()
+}

@@ -120,6 +120,25 @@ func (n *Node) serve(conn net.Conn) {
 			if !n.ack(conn, ioDeadline) {
 				return
 			}
+		case "digest":
+			for _, req := range n.repairRequests(m) {
+				if writeMsg(conn, req, ioDeadline) != nil {
+					return
+				}
+			}
+			if m.Want {
+				if writeMsg(conn, n.digestMsg(false), ioDeadline) != nil {
+					return
+				}
+			}
+		case "repreq":
+			if rep, ok := n.serveRepair(m); ok {
+				if writeMsg(conn, rep, ioDeadline) != nil {
+					return
+				}
+			}
+		case "rep":
+			n.applyRepair(m)
 		}
 	}
 }
@@ -133,10 +152,18 @@ func (n *Node) deposedPrimary(m msg, conn net.Conn, deadline time.Duration) bool
 	stale := n.promoting || m.Epoch < localEpoch
 	if stale {
 		n.stats.StaleDenied++
+		if m.T == "rep" {
+			// A fenced primary offering to "repair" a promoted follower: the
+			// payload dies at this gate and is counted as a rejected repair.
+			n.stats.RepairsRejected++
+		}
 	}
 	n.mu.Unlock()
 	if !stale {
 		return false
+	}
+	if m.T == "rep" {
+		mRepairsRejected.Inc()
 	}
 	mStaleDenied.Inc()
 	n.opts.logger().Warn("repl: denying stale primary", "their_epoch", m.Epoch, "our_epoch", localEpoch)

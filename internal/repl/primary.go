@@ -204,6 +204,19 @@ func (n *Node) stream(conn net.Conn) error {
 		sent = pos.LSN
 	}
 
+	// Anti-entropy messages the reader wants written back (repair requests
+	// and served segment bodies) queue here for the writer, which owns the
+	// connection. The queue is small and lossy by design: a dropped frame
+	// is re-generated by a later digest exchange.
+	ctrl := make(chan msg, 32)
+	enqueue := func(m msg) {
+		select {
+		case ctrl <- m:
+		default:
+			n.opts.logger().Warn("repl: anti-entropy queue full; dropping", "type", m.T, "seq", m.Seq)
+		}
+	}
+
 	// Reader: acks move the lag gauges; a deny mid-stream means a promoted
 	// follower — fence and kill the connection so the writer unblocks.
 	readerErr := make(chan error, 1)
@@ -215,6 +228,16 @@ func (n *Node) stream(conn net.Conn) error {
 				return
 			}
 			switch m.T {
+			case "digest":
+				for _, req := range n.repairRequests(m) {
+					enqueue(req)
+				}
+			case "repreq":
+				if rep, ok := n.serveRepair(m); ok {
+					enqueue(rep)
+				}
+			case "rep":
+				n.applyRepair(m)
 			case "ack":
 				n.mu.Lock()
 				if m.LSN > n.ackLSN {
@@ -240,6 +263,12 @@ func (n *Node) stream(conn net.Conn) error {
 
 	hb := time.NewTimer(hbInterval)
 	defer hb.Stop()
+	var digC <-chan time.Time
+	if n.opts.DigestEvery > 0 {
+		dig := time.NewTicker(n.opts.DigestEvery)
+		defer dig.Stop()
+		digC = dig.C
+	}
 	var batchSeq int64
 	for {
 		select {
@@ -248,6 +277,19 @@ func (n *Node) stream(conn net.Conn) error {
 		case <-n.ctx.Done():
 			return nil
 		default:
+		}
+		// Drain queued anti-entropy frames first so repairs flow even while
+		// batches keep the stream busy.
+	drain:
+		for {
+			select {
+			case m := <-ctrl:
+				if err := writeMsg(conn, m, ioDeadline); err != nil {
+					return err
+				}
+			default:
+				break drain
+			}
 		}
 		batch, prevBytes, ok := n.takeBatch(sent)
 		if !ok {
@@ -274,6 +316,14 @@ func (n *Node) stream(conn net.Conn) error {
 		case <-n.ctx.Done():
 			return nil
 		case <-n.notify:
+		case m := <-ctrl:
+			if err := writeMsg(conn, m, ioDeadline); err != nil {
+				return err
+			}
+		case <-digC:
+			if err := writeMsg(conn, n.digestMsg(true), ioDeadline); err != nil {
+				return err
+			}
 		case <-hb.C:
 			hb.Reset(hbInterval)
 			if err := fault.Hit(fault.PointReplHeartbeat); err != nil {

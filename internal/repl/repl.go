@@ -42,17 +42,23 @@ import (
 const maxFrameBytes = 64 << 20
 
 // msg is the single wire message shape; T discriminates. Every message is
-// one CRC32 frame of JSON.
+// one CRC32 frame of JSON. Unknown types are ignored by both ends, so the
+// anti-entropy triplet (digest/repreq/rep) is wire-compatible with nodes
+// that predate it.
 type msg struct {
-	T       string             `json:"t"`             // hello|welcome|deny|snap|snapend|batch|hb|ack
-	Epoch   uint64             `json:"ep,omitempty"`  // sender's failover epoch
-	SID     uint64             `json:"sid,omitempty"` // hello: primary stream id (resume token)
-	Token   string             `json:"tok,omitempty"` // hello: shared replication secret
-	LSN     int64              `json:"lsn,omitempty"` // position (meaning depends on T)
-	Bytes   int64              `json:"b,omitempty"`   // cumulative bytes at LSN
-	States  []wal.SessionState `json:"ss,omitempty"`  // snap: one chunk of sessions
-	Entries []wal.Entry        `json:"es,omitempty"`  // batch: shipped journal entries
-	Err     string             `json:"err,omitempty"` // deny: human-readable reason
+	T       string             `json:"t"`              // hello|welcome|deny|snap|snapend|batch|hb|ack|digest|repreq|rep
+	Epoch   uint64             `json:"ep,omitempty"`   // sender's failover epoch
+	SID     uint64             `json:"sid,omitempty"`  // hello: primary stream id (resume token)
+	Token   string             `json:"tok,omitempty"`  // hello: shared replication secret
+	LSN     int64              `json:"lsn,omitempty"`  // position (meaning depends on T)
+	Bytes   int64              `json:"b,omitempty"`    // cumulative bytes at LSN
+	States  []wal.SessionState `json:"ss,omitempty"`   // snap: one chunk of sessions
+	Entries []wal.Entry        `json:"es,omitempty"`   // batch: shipped journal entries
+	Err     string             `json:"err,omitempty"`  // deny: human-readable reason
+	Segs    []wal.SegmentInfo  `json:"segs,omitempty"` // digest: sealed-segment manifest
+	Seq     int                `json:"seq,omitempty"`  // repreq|rep: segment sequence number
+	Data    []byte             `json:"d,omitempty"`    // rep: raw segment bytes
+	Want    bool               `json:"want,omitempty"` // digest: asks the peer to reply with its own
 }
 
 // Options tunes a replication node. The zero value is production-safe for a
@@ -84,6 +90,11 @@ type Options struct {
 	// watchdog, bump the epoch, or feed the journal. Empty disables the
 	// check.
 	Token string
+	// DigestEvery is how often the primary announces its sealed-segment
+	// digest over the stream for anti-entropy repair: each exchange lets
+	// either end re-fetch quarantined segments whose bytes the peer still
+	// holds intact. 0 disables the exchange.
+	DigestEvery time.Duration
 	// Seed feeds the promotion jitter and the stream id. 0 uses a
 	// time-derived seed.
 	Seed int64
@@ -163,24 +174,35 @@ type Stats struct {
 	HeartbeatsMissed int64 // read deadlines expired (follower)
 	StaleDenied      int64 // hellos/batches denied for a stale epoch (follower)
 	Promotions       int64
+	DigestsSent      int64 // sealed-segment digests announced to the peer
+	DigestsReceived  int64 // peer digests compared against the local manifest
+	RepairsRequested int64 // quarantined segments this node asked the peer for
+	RepairsServed    int64 // segment bodies served to the peer
+	RepairsApplied   int64 // quarantined segments healed with peer bytes
+	RepairsRejected  int64 // repair payloads refused (stale epoch or bad bytes)
 }
 
 var (
-	mBatchesSent    = obs.Default().Counter("repl.batches_sent")
-	mRecordsSent    = obs.Default().Counter("repl.records_sent")
-	mBytesSent      = obs.Default().Counter("repl.bytes_sent")
-	mSnapsSent      = obs.Default().Counter("repl.snapshots_sent")
-	mHBSent         = obs.Default().Counter("repl.heartbeats_sent")
-	mSendErrors     = obs.Default().Counter("repl.send_errors")
-	mReconnects     = obs.Default().Counter("repl.reconnects")
-	mRecordsApplied = obs.Default().Counter("repl.records_applied")
-	mSnapsApplied   = obs.Default().Counter("repl.snapshots_applied")
-	mHBMissed       = obs.Default().Counter("repl.heartbeats_missed")
-	mPromotions     = obs.Default().Counter("repl.promotions")
-	mStaleDenied    = obs.Default().Counter("repl.stale_epoch_rejected")
-	mLagRecords     = obs.Default().Gauge("repl.lag_records")
-	mLagBytes       = obs.Default().Gauge("repl.lag_bytes")
-	mEpoch          = obs.Default().Gauge("repl.epoch")
+	mBatchesSent     = obs.Default().Counter("repl.batches_sent")
+	mRecordsSent     = obs.Default().Counter("repl.records_sent")
+	mBytesSent       = obs.Default().Counter("repl.bytes_sent")
+	mSnapsSent       = obs.Default().Counter("repl.snapshots_sent")
+	mHBSent          = obs.Default().Counter("repl.heartbeats_sent")
+	mSendErrors      = obs.Default().Counter("repl.send_errors")
+	mReconnects      = obs.Default().Counter("repl.reconnects")
+	mRecordsApplied  = obs.Default().Counter("repl.records_applied")
+	mSnapsApplied    = obs.Default().Counter("repl.snapshots_applied")
+	mHBMissed        = obs.Default().Counter("repl.heartbeats_missed")
+	mPromotions      = obs.Default().Counter("repl.promotions")
+	mStaleDenied     = obs.Default().Counter("repl.stale_epoch_rejected")
+	mDigestsSent     = obs.Default().Counter("repl.digests_sent")
+	mRepairsServed   = obs.Default().Counter("repl.repairs_served")
+	mRepairsApplied  = obs.Default().Counter("repl.repairs_applied")
+	mRepairsRejected = obs.Default().Counter("repl.repairs_rejected")
+
+	mLagRecords = obs.Default().Gauge("repl.lag_records")
+	mLagBytes   = obs.Default().Gauge("repl.lag_bytes")
+	mEpoch      = obs.Default().Gauge("repl.epoch")
 )
 
 // writeMsg frames and writes one message under a write deadline, so a

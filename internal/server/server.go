@@ -688,6 +688,11 @@ func (s *Server) healthz(w http.ResponseWriter) {
 			j["error"] = err.Error()
 			payload["status"] = "degraded"
 		}
+		// Self-healing state: quarantined sealed segments degrade durability
+		// of *history*, not of the live tail — commits still land, the scrub
+		// counters tell the operator what anti-entropy is working on — so
+		// integrity alone never flips status.
+		j["integrity"] = s.journal.Integrity()
 		payload["journal"] = j
 	}
 	if s.repl == nil {

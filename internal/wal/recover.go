@@ -12,13 +12,19 @@ import (
 )
 
 // recover scans every segment in seq order, rebuilds the session mirror,
-// and leaves the log ready for appends. Corruption — a short header, an
-// absurd length, a CRC mismatch, an undecodable payload — ends the scan:
-// the longest valid record prefix is kept, the offending segment is
-// truncated at the last good offset, and any later segments are dropped.
-// The journal never refuses to boot over a torn tail; it degrades and
-// counts.
+// and leaves the log ready for appends. Segments the manifest knows
+// (sealed at a rotation or compaction) are verified whole-file against
+// their recorded length and CRC32; a mismatch quarantines the segment —
+// renamed aside, never deleted, repairable from a replication peer — and
+// the scan continues, because the round-indexed dedup in applyRecord keeps
+// the recovered state a valid prefix even across the hole. Unsealed
+// segments (the live tail, or a pre-manifest journal) keep the legacy
+// discipline: the longest valid record prefix wins, the torn suffix is
+// truncated away with a structured warning, and later segments are
+// dropped. The journal never refuses to boot over corruption; it degrades
+// and counts.
 func (l *Log) recover() error {
+	l.loadManifest()
 	entries, err := os.ReadDir(l.dir)
 	if err != nil {
 		return fmt.Errorf("wal: read dir: %w", err)
@@ -28,25 +34,67 @@ func (l *Log) recover() error {
 		if seq, ok := parseSegName(e.Name()); ok {
 			seqs = append(seqs, seq)
 		}
-	}
-	if len(seqs) == 0 {
-		return l.openSegment(1)
+		if seq, ok := parseQuarantineName(e.Name()); ok {
+			l.quarantined[seq] = true
+		}
 	}
 	sort.Ints(seqs)
 
+	present := make(map[int]bool, len(seqs))
+	for _, seq := range seqs {
+		present[seq] = true
+	}
+	for seq := range l.manifest {
+		if !present[seq] && !l.quarantined[seq] {
+			// Sealed but gone entirely — nothing left to verify or repair
+			// against once the active sequence moves past it.
+			delete(l.manifest, seq)
+		}
+	}
+
+scan:
 	for i, seq := range seqs {
-		valid, total, err := l.scanSegment(filepath.Join(l.dir, segName(seq)))
+		path := filepath.Join(l.dir, segName(seq))
+		if m, sealed := l.manifest[seq]; sealed {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return fmt.Errorf("wal: read sealed segment: %w", err)
+			}
+			if int64(len(data)) != m.Len || crc32.ChecksumIEEE(data) != m.CRC {
+				// Bit rot in sealed history. Keep the segment's valid record
+				// prefix (each surviving frame is individually CRC-guarded),
+				// park the file for anti-entropy repair, and keep scanning:
+				// later answers past the hole orphan harmlessly.
+				mCorrupt.Inc()
+				mScrubCorrupt.Inc()
+				scanFrameBytes(data, l.applyRecord)
+				if err := l.quarantineLocked(seq, "recovery: manifest verification failed"); err != nil {
+					return err
+				}
+				continue
+			}
+			// Byte-identical to what was sealed; apply without truncation
+			// (a sealed torn record from a crashed write is part of the
+			// sealed bytes and must stay, or the manifest CRC would lie).
+			scanFrameBytes(data, l.applyRecord)
+			continue
+		}
+		valid, total, err := l.scanSegment(path)
 		if err != nil {
 			return err
 		}
 		if valid == total {
 			continue
 		}
-		// Corrupted tail: truncate this segment to its valid prefix and
-		// drop everything after it in the sequence.
+		// Corrupted unsealed tail: truncate this segment to its valid prefix
+		// and drop everything after it in the sequence.
 		mCorrupt.Inc()
 		mTruncBytes.Add(total - valid)
-		if err := os.Truncate(filepath.Join(l.dir, segName(seq)), valid); err != nil {
+		mTornTails.Inc()
+		l.tornTails++
+		l.opts.logger().Warn("wal: truncating torn tail",
+			"segment", path, "offset", valid, "dropped_bytes", total-valid)
+		if err := os.Truncate(path, valid); err != nil {
 			return fmt.Errorf("wal: truncate corrupt tail: %w", err)
 		}
 		for _, later := range seqs[i+1:] {
@@ -54,10 +102,11 @@ func (l *Log) recover() error {
 				mTruncBytes.Add(info.Size())
 			}
 			os.Remove(filepath.Join(l.dir, segName(later)))
+			delete(l.manifest, later)
 			mSegsDropped.Inc()
 		}
 		seqs = seqs[:i+1]
-		break
+		break scan
 	}
 
 	for _, st := range l.sessions {
@@ -69,7 +118,34 @@ func (l *Log) recover() error {
 		}
 	}
 	l.boot = len(l.sessions) > 0
-	return l.openSegment(seqs[len(seqs)-1])
+	l.saveManifestLocked()
+
+	// Resume appends on the highest unsealed segment; when the top of the
+	// sequence is sealed or quarantined, its bytes are frozen, so open a
+	// fresh successor instead of reusing the number.
+	top := 0
+	for _, seq := range seqs {
+		if seq > top {
+			top = seq
+		}
+	}
+	for seq := range l.quarantined {
+		if seq > top {
+			top = seq
+		}
+	}
+	for seq := range l.manifest {
+		if seq > top {
+			top = seq
+		}
+	}
+	if top == 0 {
+		return l.openSegment(1)
+	}
+	if _, sealed := l.manifest[top]; sealed || l.quarantined[top] {
+		return l.openSegment(top + 1)
+	}
+	return l.openSegment(top)
 }
 
 // scanSegment reads records from one segment file, applying each valid one

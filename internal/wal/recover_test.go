@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"bytes"
 	"errors"
 	"math/rand"
 	"os"
@@ -200,9 +201,12 @@ func TestJournalRecoverAbsurdLength(t *testing.T) {
 	}
 }
 
-// Corruption in a middle segment drops the later segments too: the longest
-// valid PREFIX wins, never a subsequence with a hole in it.
-func TestJournalRecoverMidSegmentCorruptionDropsTail(t *testing.T) {
+// Corruption in a sealed middle segment no longer drops the tail: the
+// manifest check quarantines the segment (renamed aside, never deleted)
+// and the scan continues over the hole. Recovered answers stay a valid
+// PREFIX — records past the hole orphan on the round-index gap — and a
+// byte-identical repair restores the full history.
+func TestJournalRecoverMidSegmentCorruptionQuarantines(t *testing.T) {
 	dir := t.TempDir()
 	l, _, err := Open(dir, Options{SegmentBytes: 96})
 	if err != nil {
@@ -221,12 +225,14 @@ func TestJournalRecoverMidSegmentCorruptionDropsTail(t *testing.T) {
 	if len(segs) < 3 {
 		t.Fatalf("need ≥3 segments for this test, got %d", len(segs))
 	}
-	// Corrupt the second segment's first payload byte.
+	// Corrupt the second segment's first payload byte, keeping a pristine
+	// copy — the stand-in for the replication peer's healthy bytes.
 	second := filepath.Join(dir, segName(2))
-	data, err := os.ReadFile(second)
+	pristine, err := os.ReadFile(second)
 	if err != nil {
 		t.Fatal(err)
 	}
+	data := append([]byte(nil), pristine...)
 	data[frameHeaderLen] ^= 0xff
 	if err := os.WriteFile(second, data, 0o644); err != nil {
 		t.Fatal(err)
@@ -235,13 +241,36 @@ func TestJournalRecoverMidSegmentCorruptionDropsTail(t *testing.T) {
 	if err != nil {
 		t.Fatalf("recovery: %v", err)
 	}
-	defer l2.Close()
 	got := sessionAnswers(states, "s1")
-	if len(got) >= 30 {
-		t.Fatalf("corruption in segment 2 should lose tail answers, got %d", len(got))
+	if len(got) >= 30 || len(got) == 0 {
+		t.Fatalf("corruption in segment 2 should recover a proper answer prefix, got %d", len(got))
 	}
-	if left, _ := filepath.Glob(filepath.Join(dir, "wal-*.log")); len(left) != 2 {
-		t.Errorf("later segments not dropped: %v", left)
+	if q := l2.Quarantined(); len(q) != 1 || q[0] != 2 {
+		t.Fatalf("quarantined = %v, want [2]", q)
+	}
+	if _, err := os.Stat(second); !os.IsNotExist(err) {
+		t.Errorf("corrupt segment still present under its live name: %v", err)
+	}
+	if _, err := os.Stat(second + quarantineSuffix); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, "wal-*.log")); len(left) != len(segs)-1 {
+		t.Errorf("later segments should survive a quarantine, have %d of %d", len(left), len(segs))
+	}
+	// A manifest-matching replacement ends the quarantine; a fresh replay
+	// then sees the complete history again.
+	if err := l2.RepairSegment(2, pristine); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if q := l2.Quarantined(); len(q) != 0 {
+		t.Fatalf("quarantine not cleared by repair: %v", q)
+	}
+	if restored, err := os.ReadFile(second); err != nil || !bytes.Equal(restored, pristine) {
+		t.Errorf("repaired segment not byte-identical (err=%v)", err)
+	}
+	_, states = reopen(t, l2, Options{})
+	if got := sessionAnswers(states, "s1"); len(got) != 30 {
+		t.Errorf("post-repair replay recovered %d answers, want all 30", len(got))
 	}
 }
 

@@ -1,0 +1,204 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"isrl/internal/fault"
+	"isrl/internal/obs"
+)
+
+// Scrub metrics plus the torn-tail counter, process-wide like the rest of
+// the journal metrics so a chaos run is auditable from /metrics.
+var (
+	mTornTails        = obs.Default().Counter("wal.torn_tail_truncations")
+	mScrubRuns        = obs.Default().Counter("wal.scrub.runs")
+	mScrubSegments    = obs.Default().Counter("wal.scrub.segments")
+	mScrubBytes       = obs.Default().Counter("wal.scrub.bytes")
+	mScrubCorrupt     = obs.Default().Counter("wal.scrub.corrupt")
+	mScrubQuarantined = obs.Default().Counter("wal.scrub.quarantined")
+	mScrubRepaired    = obs.Default().Counter("wal.scrub.repaired")
+	mScrubDivergent   = obs.Default().Counter("wal.scrub.divergent")
+	mScrubLastUnix    = obs.Default().Gauge("wal.scrub.last_unix")
+)
+
+// scrubChunk is how many bytes one rate-limited read covers. Small enough
+// that pacing is smooth at low rates, large enough that syscall overhead
+// stays negligible at high ones.
+const scrubChunk = 256 << 10
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	Segments    int   // sealed segments verified this pass
+	Bytes       int64 // bytes re-read and hashed
+	Corrupt     int   // segments that failed verification this pass
+	Quarantined []int // sequence numbers quarantined this pass
+}
+
+// Scrub re-reads every healthy sealed segment, verifies it against the
+// manifest, and quarantines anything that fails. rate caps the read
+// bandwidth in bytes/second (0 or negative: unlimited) so a background
+// scrub cannot starve the commit path's fsyncs. Corruption is classified —
+// manifest mismatch, mid-segment CRC failure, impossible length, torn
+// frame — with the frame walk reusing ReadFrame, the same parser the
+// replication wire trusts. Reads pass through the wal.scrub.read fault
+// point; an injected read error is treated as corruption (a sector the
+// disk no longer returns is as gone as a flipped bit).
+//
+// Scrubbing never touches the active segment (it is still growing) and
+// never sets the journal's sticky error: quarantined history is repairable
+// (anti-entropy re-fetches it from the peer) and must not shed live
+// traffic.
+func (l *Log) Scrub(ctx context.Context, rate int64) (ScrubReport, error) {
+	var rep ScrubReport
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return rep, fmt.Errorf("wal: log closed")
+	}
+	targets := make([]SegmentInfo, 0, len(l.manifest))
+	for _, info := range l.sealedSegmentsLocked() {
+		if !info.Quarantined && info.Seq != l.actSeq {
+			targets = append(targets, info)
+		}
+	}
+	l.mu.Unlock()
+
+	for _, target := range targets {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		data, err := l.scrubRead(ctx, filepath.Join(l.dir, segName(target.Seq)), rate)
+		if err != nil {
+			if ctx.Err() != nil {
+				return rep, ctx.Err()
+			}
+			if os.IsNotExist(err) {
+				continue // compacted away mid-scrub
+			}
+			// The disk refused to return the segment: corruption by another
+			// name. Quarantine what is left of it.
+			l.scrubFail(&rep, target, "read_error: "+err.Error())
+			continue
+		}
+		rep.Bytes += int64(len(data))
+		mScrubBytes.Add(int64(len(data)))
+		switch {
+		case int64(len(data)) != target.Len:
+			l.scrubFail(&rep, target, fmt.Sprintf("manifest_mismatch: %d bytes on disk, %d sealed", len(data), target.Len))
+		case crc32.ChecksumIEEE(data) != target.CRC:
+			l.scrubFail(&rep, target, classifyCorruption(data))
+		default:
+			rep.Segments++
+			mScrubSegments.Inc()
+		}
+	}
+
+	now := time.Now().Unix()
+	l.mu.Lock()
+	l.lastScrubUnix = now
+	l.scrubbed += int64(rep.Segments)
+	l.mu.Unlock()
+	mScrubRuns.Inc()
+	mScrubLastUnix.Set(now)
+	return rep, nil
+}
+
+// scrubFail records one failed verification and quarantines the segment,
+// re-checking under the lock that it is still sealed and healthy (a
+// compaction or a concurrent quarantine may have raced the read).
+func (l *Log) scrubFail(rep *ScrubReport, target SegmentInfo, reason string) {
+	mScrubCorrupt.Inc()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m, sealed := l.manifest[target.Seq]
+	if !sealed || m != (segMeta{Len: target.Len, CRC: target.CRC}) || l.quarantined[target.Seq] {
+		return
+	}
+	rep.Corrupt++
+	if err := l.quarantineLocked(target.Seq, reason); err != nil {
+		l.opts.logger().Warn("wal: quarantine failed", "seq", target.Seq, "err", err)
+		return
+	}
+	rep.Quarantined = append(rep.Quarantined, target.Seq)
+}
+
+// scrubRead reads one segment in rate-limited chunks through the
+// wal.scrub.read fault point.
+func (l *Log) scrubRead(ctx context.Context, path string, rate int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, 0, info.Size())
+	buf := make([]byte, scrubChunk)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := fault.Hit(fault.PointScrubRead); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		n, err := f.Read(buf)
+		data = append(data, buf[:n]...)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return data, nil
+			}
+			return nil, err
+		}
+		if rate > 0 && n > 0 {
+			// Pace so the sustained rate stays at the cap: the chunk "costs"
+			// n/rate seconds; sleep whatever the read itself did not spend.
+			budget := time.Duration(float64(n) / float64(rate) * float64(time.Second))
+			if spent := time.Since(start); budget > spent {
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-time.After(budget - spent):
+				}
+			}
+		}
+	}
+}
+
+// ScrubLoop runs Scrub every interval until ctx is cancelled — the
+// background self-healing daemon isrl-serve starts with -scrub-every.
+func (l *Log) ScrubLoop(ctx context.Context, every time.Duration, rate int64) {
+	if every <= 0 {
+		return
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		rep, err := l.Scrub(ctx, rate)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			l.opts.logger().Warn("wal: scrub pass failed", "err", err)
+			continue
+		}
+		if rep.Corrupt > 0 {
+			l.opts.logger().Warn("wal: scrub found corruption",
+				"segments", rep.Segments, "corrupt", rep.Corrupt, "quarantined", rep.Quarantined)
+		}
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -112,6 +113,9 @@ type Options struct {
 	// CompactDeadSessions triggers compaction once at least this many
 	// tombstoned sessions sit in the log. Default 256.
 	CompactDeadSessions int
+	// Logger receives recovery and scrub warnings (torn-tail truncations,
+	// quarantines, manifest trouble). Default slog.Default().
+	Logger *slog.Logger
 }
 
 func (o *Options) defaults() {
@@ -121,6 +125,13 @@ func (o *Options) defaults() {
 	if o.CompactDeadSessions <= 0 {
 		o.CompactDeadSessions = 256
 	}
+}
+
+func (o *Options) logger() *slog.Logger {
+	if o.Logger == nil {
+		return slog.Default()
+	}
+	return o.Logger
 }
 
 // frameHeader is uint32 payload length + uint32 CRC32(payload), little
@@ -161,11 +172,22 @@ type Log struct {
 	active   *os.File
 	actSeq   int
 	actSize  int64
+	actCRC   uint32                   // running CRC32 of the active segment's bytes
 	sessions map[string]*SessionState // full in-memory mirror, incl. tombstoned
 	dead     int                      // tombstoned sessions not yet compacted away
 	sticky   error                    // first write/sync failure; surfaces on /healthz
 	fsyncErr int64                    // count of fsync failures on this Log
 	closed   bool
+
+	// Self-healing state: the sealed-segment manifest, the quarantine set,
+	// and the scrub/repair bookkeeping Integrity() reports.
+	manifest      map[int]segMeta
+	quarantined   map[int]bool
+	lastScrubUnix int64
+	scrubbed      int64 // sealed segments verified clean, lifetime
+	corruptSeen   int64 // sealed segments that failed verification, lifetime
+	repaired      int64 // quarantined segments restored from a peer, lifetime
+	tornTails     int64 // unsealed-tail truncations at recovery, lifetime
 
 	// Replication state. lsn/cumBytes are in-memory positions (they reset
 	// every process start; followers resync with a snapshot, which is safe
@@ -213,6 +235,10 @@ type Position struct{ LSN, Bytes int64 }
 // segName renders the file name of segment seq.
 func segName(seq int) string { return fmt.Sprintf("wal-%08d.log", seq) }
 
+// SegName returns the file name of segment seq, exported for tools and
+// tests that inspect journal directories from outside the package.
+func SegName(seq int) string { return segName(seq) }
+
 // parseSegName extracts the sequence number, reporting ok=false for files
 // that are not journal segments.
 func parseSegName(name string) (int, bool) {
@@ -232,7 +258,11 @@ func Open(dir string, opts Options) (*Log, []SessionState, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts, sessions: make(map[string]*SessionState)}
+	l := &Log{
+		dir: dir, opts: opts,
+		sessions:    make(map[string]*SessionState),
+		quarantined: make(map[int]bool),
+	}
 	if err := l.recover(); err != nil {
 		return nil, nil, err
 	}
@@ -410,6 +440,11 @@ func (l *Log) appendLocked(ctx context.Context, rec record, sync bool) error {
 	}
 	n, err := l.writeFrame(l.active, frame)
 	l.actSize += int64(n)
+	if n > 0 {
+		// Keep the running hash in lockstep with what actually reached the
+		// file — torn writes included — so sealing never needs a re-read.
+		l.actCRC = crc32.Update(l.actCRC, crc32.IEEETable, frame[:n])
+	}
 	if err != nil {
 		mWriteErrors.Inc()
 		if l.sticky == nil {
@@ -623,6 +658,14 @@ func Frame(payload []byte, max int) ([]byte, error) {
 	return frame, nil
 }
 
+// Frame parsing failure modes, distinguishable with errors.Is so callers
+// (the scrubber's corruption classifier, tests) can name what broke.
+var (
+	ErrFrameTorn     = errors.New("wal: torn frame")
+	ErrFrameTooLarge = errors.New("wal: frame exceeds size limit")
+	ErrFrameChecksum = errors.New("wal: frame checksum mismatch")
+)
+
 // ReadFrame reads one length+CRC32 frame from r and returns its payload.
 // io.EOF surfaces untouched on a clean boundary; a frame longer than max
 // (when max > 0) or failing its checksum is an error — over a network
@@ -632,21 +675,21 @@ func ReadFrame(r io.Reader, max int) ([]byte, error) {
 	hdr := make([]byte, frameHeaderLen)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("wal: torn frame header: %w", err)
+			return nil, fmt.Errorf("%w: short header: %w", ErrFrameTorn, err)
 		}
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
 	sum := binary.LittleEndian.Uint32(hdr[4:8])
 	if max > 0 && int64(n) > int64(max) {
-		return nil, fmt.Errorf("wal: frame of %d bytes exceeds limit %d", n, max)
+		return nil, fmt.Errorf("%w: %d bytes, limit %d", ErrFrameTooLarge, n, max)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("wal: torn frame payload: %w", err)
+		return nil, fmt.Errorf("%w: short payload: %w", ErrFrameTorn, err)
 	}
 	if crc32.ChecksumIEEE(payload) != sum {
-		return nil, errors.New("wal: frame checksum mismatch")
+		return nil, ErrFrameChecksum
 	}
 	return payload, nil
 }
@@ -801,9 +844,12 @@ func (l *Log) maybeCompactLocked() {
 
 // rotateLocked opens the next segment, then seals the old one. Opening
 // first means a failure leaves the old (oversized but healthy) segment
-// active instead of leaving the log with no file to append to.
+// active instead of leaving the log with no file to append to. A fully
+// sealed segment (synced, closed) gets a manifest entry freezing its
+// length and whole-file CRC — the contract recovery and the scrubber
+// verify against.
 func (l *Log) rotateLocked() error {
-	old := l.active
+	old, oldSeq, oldSize, oldCRC := l.active, l.actSeq, l.actSize, l.actCRC
 	if err := l.openSegment(l.actSeq + 1); err != nil {
 		return err
 	}
@@ -815,12 +861,15 @@ func (l *Log) rotateLocked() error {
 	if err := old.Close(); err != nil {
 		return fmt.Errorf("wal: seal segment: %w", err)
 	}
+	l.sealLocked(oldSeq, oldSize, oldCRC)
 	return nil
 }
 
-// openSegment opens (creating if absent) segment seq for appends.
+// openSegment opens (creating if absent) segment seq for appends, priming
+// the running CRC from any bytes already present.
 func (l *Log) openSegment(seq int) error {
-	f, err := os.OpenFile(filepath.Join(l.dir, segName(seq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	path := filepath.Join(l.dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: open segment: %w", err)
 	}
@@ -829,7 +878,16 @@ func (l *Log) openSegment(seq int) error {
 		f.Close()
 		return fmt.Errorf("wal: stat segment: %w", err)
 	}
-	l.active, l.actSeq, l.actSize = f, seq, info.Size()
+	var crc uint32
+	if info.Size() > 0 {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("wal: read segment: %w", err)
+		}
+		crc = crc32.ChecksumIEEE(data)
+	}
+	l.active, l.actSeq, l.actSize, l.actCRC = f, seq, info.Size(), crc
 	return nil
 }
 
@@ -911,19 +969,32 @@ func (l *Log) compactLocked() error {
 		return fmt.Errorf("wal: compact rename: %w", err)
 	}
 	// The compacted segment now holds everything live; retire the past.
+	// Deletion walks a glob rather than counting down sequence numbers so a
+	// quarantine hole in the sequence cannot strand older segments.
 	old := l.active
 	l.active = nil
 	if old != nil {
 		old.Sync()
 		old.Close()
 	}
-	for seq := l.actSeq; seq > 0; seq-- {
-		name := filepath.Join(l.dir, segName(seq))
-		if _, err := os.Stat(name); err != nil {
-			break
+	if segs, gerr := filepath.Glob(filepath.Join(l.dir, "wal-*.log")); gerr == nil {
+		for _, p := range segs {
+			if seq, ok := parseSegName(filepath.Base(p)); ok && seq < newSeq {
+				os.Remove(p)
+			}
 		}
-		os.Remove(name)
 	}
+	// The whole sealed history was just superseded: every manifest entry is
+	// stale and every quarantined segment's records were rewritten live into
+	// the new segment, which ends their quarantine lifecycle.
+	for seq := range l.quarantined {
+		os.Remove(filepath.Join(l.dir, quarantineName(seq)))
+		delete(l.quarantined, seq)
+	}
+	for seq := range l.manifest {
+		delete(l.manifest, seq)
+	}
+	l.saveManifestLocked()
 	for id, st := range l.sessions {
 		if st.Finished {
 			delete(l.sessions, id)

@@ -10,7 +10,12 @@ test -z "$(gofmt -l .)"
 go build ./...
 go vet ./...
 go test -race ./...
-go test -race -run 'Fault|Noisy|Chaos|Recover|Journal|Proxy|Client|Repl|Failover' -count=2 ./...
+go test -race -run 'Fault|Noisy|Chaos|Recover|Journal|Proxy|Client|Repl|Failover|Scrub|Repair' -count=2 ./...
+
+# Fuzz smoke: the WAL frame parser must survive a short fuzzing burst (the
+# seed corpus plus a few seconds of mutation) — it guards both the on-disk
+# journal and the replication wire.
+go test -fuzz '^FuzzReadFrame$' -fuzztime=5s -run '^FuzzReadFrame$' ./internal/wal/
 
 # Benchmark smoke + regression gate: the hot-path harness must run end to
 # end, emit well-formed JSON (checked with grep to stay dependency-free),
